@@ -1,0 +1,566 @@
+package reach
+
+// Benchmarks, one family per experiment in DESIGN.md's index. The
+// cmd/reachbench harness regenerates the same tables with wall-clock
+// sweeps; these benches give per-op numbers under the testing.B
+// machinery. Fixtures come from internal/bench so both stay in sync.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/bench"
+	"repro/internal/eca"
+	"repro/internal/event"
+	"repro/internal/layered"
+	"repro/internal/oodb"
+	"repro/internal/storage"
+)
+
+// --- T1: Table 1 ---
+
+func BenchmarkTable1Admission(b *testing.B) {
+	if bad := bench.VerifyTable1(); len(bad) > 0 {
+		b.Fatalf("Table 1 mismatch: %v", bad)
+	}
+	cats := eca.Categories()
+	modes := eca.Couplings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cats {
+			for _, m := range modes {
+				_ = eca.Supported(c, m)
+			}
+		}
+	}
+}
+
+// --- F2: the ECA message flow of Figure 2, end to end per op ---
+
+func BenchmarkFigure2Flow(b *testing.B) {
+	f := bench.NewFixture(true, eca.Options{})
+	defer f.Close()
+	comp := &algebra.Composite{
+		Name: "flow",
+		Expr: algebra.Seq{Exprs: []algebra.Expr{
+			algebra.Prim{Key: bench.SensorPingAfter()},
+			algebra.Prim{Key: bench.SensorResetAfter()},
+		}},
+		Policy: algebra.Chronicle,
+		Scope:  algebra.ScopeTransaction,
+	}
+	if err := f.Engine.DefineComposite(comp); err != nil {
+		b.Fatal(err)
+	}
+	f.Engine.AddRule(&eca.Rule{
+		Name: "imm", EventKey: bench.SensorPingAfter(), ActionMode: eca.Immediate,
+		Action: func(*eca.RuleCtx) error { return nil },
+	})
+	f.Engine.AddRule(&eca.Rule{
+		Name: "def", EventKey: comp.Key(), ActionMode: eca.Deferred,
+		Action: func(*eca.RuleCtx) error { return nil },
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := f.DB.Begin()
+		f.DB.Invoke(tx, f.Sensor, "ping", int64(i))
+		f.DB.Invoke(tx, f.Sensor, "reset")
+		tx.Commit()
+	}
+}
+
+// --- E1: sentry overhead classes ---
+
+func BenchmarkSentryOverhead(b *testing.B) {
+	run := func(name string, f *bench.Fixture) {
+		b.Run(name, func(b *testing.B) {
+			defer f.Close()
+			tx := f.DB.Begin()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.DB.Invoke(tx, f.Sensor, "ping", int64(i))
+			}
+			b.StopTimer()
+			tx.Commit()
+		})
+	}
+	run("unmonitored", bench.NewFixture(false, eca.Options{}))
+
+	useless := bench.NewFixture(true, eca.Options{})
+	run("useless", useless)
+
+	pot := bench.NewFixture(true, eca.Options{})
+	pot.AddNoopRules(1, eca.Immediate)
+	pot.Engine.Dispatcher().SetEnabled(bench.SensorPingAfter(), false)
+	run("potentially-useful", pot)
+
+	useful := bench.NewFixture(true, eca.Options{})
+	useful.AddNoopRules(1, eca.Immediate)
+	run("useful", useful)
+}
+
+// --- E2: layered vs integrated ---
+
+func BenchmarkLayeredVsIntegratedMethod(b *testing.B) {
+	b.Run("integrated", func(b *testing.B) {
+		f := bench.NewFixture(true, eca.Options{})
+		defer f.Close()
+		f.AddNoopRules(1, eca.Immediate)
+		tx := f.DB.Begin()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.DB.Invoke(tx, f.Sensor, "ping", int64(i))
+		}
+		b.StopTimer()
+		tx.Commit()
+	})
+	b.Run("layered-wrapper", func(b *testing.B) {
+		lf := bench.NewLayeredFixture()
+		defer lf.Close()
+		lf.Layer.AddRule(&layered.Rule{
+			Name: "r", EventKey: bench.SensorPingAfter(),
+			Action: func(*layered.RuleCtx) error { return nil },
+		})
+		ft := lf.Closed.Begin()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lf.Layer.Invoke(ft, lf.Sensor, "ping", int64(i))
+		}
+		b.StopTimer()
+		ft.Commit()
+	})
+}
+
+func BenchmarkLayeredVsIntegratedStateChange(b *testing.B) {
+	for _, tracked := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("integrated/monitored=%d", tracked), func(b *testing.B) {
+			f := bench.NewFixture(true, eca.Options{})
+			defer f.Close()
+			f.Engine.AddRule(&eca.Rule{
+				Name:       "watch",
+				EventKey:   event.StateSpec{Class: "Sensor", Attr: "val"}.Key(),
+				ActionMode: eca.Immediate,
+				Action:     func(*eca.RuleCtx) error { return nil },
+			})
+			tx := f.DB.Begin()
+			objs := make([]*oodb.Object, tracked)
+			for i := range objs {
+				objs[i], _ = f.DB.NewObject(tx, "Sensor")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.DB.Set(tx, objs[i%tracked], "val", int64(i))
+			}
+			b.StopTimer()
+			tx.Commit()
+		})
+		b.Run(fmt.Sprintf("layered-poll/tracked=%d", tracked), func(b *testing.B) {
+			lf := bench.NewLayeredFixture()
+			defer lf.Close()
+			lf.Layer.AddRule(&layered.Rule{
+				Name: "watch", EventKey: event.StateSpec{Class: "Sensor", Attr: "val"}.Key(),
+				Action: func(*layered.RuleCtx) error { return nil },
+			})
+			ft := lf.Closed.Begin()
+			objs := make([]*oodb.Object, tracked)
+			for i := range objs {
+				objs[i], _ = lf.Closed.NewObject(ft, "Sensor")
+				lf.Layer.Track(ft, objs[i])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lf.Closed.Set(ft, objs[i%tracked], "val", int64(i))
+				lf.Layer.Poll(ft)
+			}
+			b.StopTimer()
+			ft.Commit()
+		})
+	}
+}
+
+// --- E3: sequential vs parallel rule execution ---
+
+func BenchmarkRuleExecSeqVsPar(b *testing.B) {
+	for _, work := range []int{1, 64, 512} {
+		for _, strat := range []struct {
+			name string
+			s    eca.ExecStrategy
+		}{{"sequential", eca.SequentialExec}, {"parallel", eca.ParallelExec}} {
+			b.Run(fmt.Sprintf("work=%d/%s", work, strat.name), func(b *testing.B) {
+				f := bench.NewFixture(true, eca.Options{Exec: strat.s})
+				defer f.Close()
+				f.AddBusyRules(4, work)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f.Ping(int64(i))
+				}
+			})
+		}
+	}
+}
+
+// --- E4: sync vs async composition (application-path latency) ---
+
+func BenchmarkCompositionSyncVsAsync(b *testing.B) {
+	for _, k := range []int{1, 8, 32} {
+		for _, mode := range []struct {
+			name string
+			sync bool
+		}{{"async", false}, {"sync", true}} {
+			b.Run(fmt.Sprintf("composites=%d/%s", k, mode.name), func(b *testing.B) {
+				f := bench.NewFixture(true, eca.Options{
+					SyncComposition: mode.sync,
+					ComposerBuffer:  4096,
+				})
+				defer f.Close()
+				f.DefineDeepComposites(k, 8)
+				b.ResetTimer()
+				// Chunked so validity GC bounds the chronicle queues
+				// (the life-span discipline of §3.3); without it the
+				// match scans grow quadratically with b.N.
+				const chunk = 2048
+				for done := 0; done < b.N; done += chunk {
+					n := chunk
+					if b.N-done < n {
+						n = b.N - done
+					}
+					f.PingN(n)
+					b.StopTimer()
+					f.Engine.DrainComposers()
+					f.Clock.Advance(2 * time.Hour)
+					f.Engine.GCExpired()
+					b.StartTimer()
+				}
+				b.StopTimer()
+				f.Engine.DrainComposers()
+			})
+		}
+	}
+}
+
+// --- E5: the immediate-composite stall ---
+
+func BenchmarkImmediateCompositeStall(b *testing.B) {
+	for _, k := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("composites=%d/deferred", k), func(b *testing.B) {
+			f := bench.NewFixture(true, eca.Options{})
+			defer f.Close()
+			f.DefineSeqComposites(k, algebra.ScopeTransaction)
+			for i := 0; i < k; i++ {
+				f.Engine.AddRule(&eca.Rule{
+					Name:       fmt.Sprintf("d%d", i),
+					EventKey:   event.CompositeSpec{Name: fmt.Sprintf("pair-%d", i)}.Key(),
+					ActionMode: eca.Deferred,
+					Action:     func(*eca.RuleCtx) error { return nil },
+				})
+			}
+			b.ResetTimer()
+			f.PingN(b.N)
+		})
+		b.Run(fmt.Sprintf("composites=%d/immediate-stall", k), func(b *testing.B) {
+			f := bench.NewFixture(true, eca.Options{AllowUnsafeImmediateComposite: true})
+			defer f.Close()
+			f.DefineSeqComposites(k, algebra.ScopeTransaction)
+			for i := 0; i < k; i++ {
+				f.Engine.AddRule(&eca.Rule{
+					Name:       fmt.Sprintf("i%d", i),
+					EventKey:   event.CompositeSpec{Name: fmt.Sprintf("pair-%d", i)}.Key(),
+					ActionMode: eca.Immediate,
+					Action:     func(*eca.RuleCtx) error { return nil },
+				})
+			}
+			b.ResetTimer()
+			f.PingN(b.N)
+		})
+	}
+}
+
+// --- E6: consumption policies ---
+
+func BenchmarkConsumptionPolicy(b *testing.B) {
+	for _, pol := range []algebra.Policy{algebra.Recent, algebra.Chronicle, algebra.Continuous, algebra.Cumulative} {
+		b.Run(pol.String(), func(b *testing.B) {
+			comp := &algebra.Composite{
+				Name:   "pair",
+				Expr:   algebra.Seq{Exprs: []algebra.Expr{algebra.Prim{Key: "E1"}, algebra.Prim{Key: "E2"}}},
+				Policy: pol,
+				Scope:  algebra.ScopeGlobal, Validity: time.Hour,
+			}
+			cp, err := algebra.NewComposer(comp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			detected := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := "E1"
+				if i%3 == 2 {
+					key = "E2"
+				}
+				in := &event.Instance{SpecKey: key, Seq: uint64(i + 1), Txn: 1,
+					Time: bench.Epoch.Add(time.Duration(i))}
+				detected += len(cp.Feed(in))
+				// Bound semi-composed state, as a life-span would
+				// (§3.3): chronicle otherwise accumulates unconsumed
+				// initiators and the match scan turns quadratic.
+				if i%4096 == 4095 {
+					cp.Flush(bench.Epoch.Add(time.Duration(i)))
+				}
+			}
+			b.ReportMetric(float64(detected)/float64(b.N), "detected/op")
+		})
+	}
+}
+
+// --- E7: life-span GC ---
+
+func BenchmarkLifespanGC(b *testing.B) {
+	b.Run("txn-scoped-flush", func(b *testing.B) {
+		f := bench.NewFixture(true, eca.Options{})
+		defer f.Close()
+		f.DefineSeqComposites(1, algebra.ScopeTransaction)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.PingN(4) // half-composed sequences discarded at EOT
+		}
+		b.StopTimer()
+		f.Engine.DrainComposers()
+		if p := f.Engine.SemiComposed(); p != 0 {
+			b.Fatalf("semi-composed leak: %d", p)
+		}
+	})
+	b.Run("global-validity-gc", func(b *testing.B) {
+		f := bench.NewFixture(true, eca.Options{})
+		defer f.Close()
+		f.DefineSeqComposites(1, algebra.ScopeGlobal)
+		b.ResetTimer()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			f.PingN(4)
+			f.Clock.Advance(2 * time.Hour)
+			f.Engine.DrainComposers()
+			total += f.Engine.GCExpired()
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "gced/op")
+	})
+}
+
+// --- E8: composer topology ---
+
+func BenchmarkComposerTopology(b *testing.B) {
+	const k = 16
+	b.Run("many-small-composers", func(b *testing.B) {
+		f := bench.NewFixture(true, eca.Options{ComposerBuffer: 4096})
+		defer f.Close()
+		f.DefineSeqComposites(k, algebra.ScopeGlobal)
+		b.ResetTimer()
+		f.PingN(b.N)
+		f.Engine.DrainComposers()
+	})
+	b.Run("monolithic-graph", func(b *testing.B) {
+		f := bench.NewFixture(true, eca.Options{ComposerBuffer: 4096})
+		defer f.Close()
+		subs := make([]algebra.Expr, k)
+		for i := range subs {
+			subs[i] = algebra.Seq{Exprs: []algebra.Expr{
+				algebra.Prim{Key: bench.SensorPingAfter()},
+				algebra.Prim{Key: bench.SensorResetAfter()},
+			}}
+		}
+		if err := f.Engine.DefineComposite(&algebra.Composite{
+			Name: "mono", Expr: algebra.Disj{Exprs: subs},
+			Policy: algebra.Chronicle, Scope: algebra.ScopeGlobal, Validity: time.Hour,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		f.PingN(b.N)
+		f.Engine.DrainComposers()
+	})
+}
+
+// --- E9: event histories ---
+
+func BenchmarkEventHistory(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    eca.HistoryMode
+	}{{"distributed", eca.DistributedHistory}, {"central", eca.CentralHistory}} {
+		b.Run(mode.name, func(b *testing.B) {
+			f := bench.NewFixture(true, eca.Options{History: mode.m})
+			defer f.Close()
+			f.AddNoopRules(1, eca.Immediate)
+			b.RunParallel(func(pb *testing.PB) {
+				tx := f.DB.Begin()
+				defer tx.Commit()
+				i := int64(0)
+				for pb.Next() {
+					i++
+					f.DB.Invoke(tx, f.Sensor, "ping", i)
+				}
+			})
+		})
+	}
+}
+
+// --- E10: rule dispatch ---
+
+func BenchmarkRuleDispatch(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("rules=%d/eca-managers", n), func(b *testing.B) {
+			f := bench.NewFixture(true, eca.Options{})
+			defer f.Close()
+			for i := 0; i < n-1; i++ {
+				f.Engine.AddRule(&eca.Rule{
+					Name: fmt.Sprintf("o%d", i), EventKey: fmt.Sprintf("method:O%d.m:after", i),
+					ActionMode: eca.Immediate, Action: func(*eca.RuleCtx) error { return nil },
+				})
+			}
+			f.AddNoopRules(1, eca.Immediate)
+			tx := f.DB.Begin()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.DB.Invoke(tx, f.Sensor, "ping", int64(i))
+			}
+			b.StopTimer()
+			tx.Commit()
+		})
+		b.Run(fmt.Sprintf("rules=%d/global-scan", n), func(b *testing.B) {
+			f := bench.NewFixture(true, eca.Options{})
+			defer f.Close()
+			for i := 0; i < n-1; i++ {
+				f.Engine.AddRule(&eca.Rule{
+					Name: fmt.Sprintf("f%d", i), EventKey: bench.SensorPingAfter(),
+					ActionMode: eca.Immediate,
+					Cond:       func(*eca.RuleCtx) (bool, error) { return false, nil },
+					Action:     func(*eca.RuleCtx) error { return nil },
+				})
+			}
+			f.AddNoopRules(1, eca.Immediate)
+			tx := f.DB.Begin()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.DB.Invoke(tx, f.Sensor, "ping", int64(i))
+			}
+			b.StopTimer()
+			tx.Commit()
+		})
+	}
+}
+
+// --- E11: nested transactions ---
+
+func BenchmarkNestedTxn(b *testing.B) {
+	b.Run("flat", func(b *testing.B) {
+		f := bench.NewFixture(false, eca.Options{})
+		defer f.Close()
+		tx := f.DB.Begin()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.DB.Invoke(tx, f.Sensor, "ping", int64(i))
+		}
+		b.StopTimer()
+		tx.Commit()
+	})
+	b.Run("subtransaction-per-op", func(b *testing.B) {
+		f := bench.NewFixture(false, eca.Options{})
+		defer f.Close()
+		tx := f.DB.Begin()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			child, _ := tx.BeginChild()
+			f.DB.Invoke(child, f.Sensor, "ping", int64(i))
+			child.Commit()
+		}
+		b.StopTimer()
+		tx.Commit()
+	})
+}
+
+// --- E12: storage substrate ---
+
+func BenchmarkStorageInsert(b *testing.B) {
+	dir := b.TempDir()
+	st, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	payload := make([]byte, 128)
+	st.Begin(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Insert(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st.Commit(1)
+}
+
+func BenchmarkStorageCommitSync(b *testing.B) {
+	dir := b.TempDir()
+	st, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tid := uint64(i + 1)
+		st.Begin(tid)
+		st.Insert(tid, payload)
+		if err := st.Commit(tid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorageGet(b *testing.B) {
+	dir := b.TempDir()
+	st, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	payload := make([]byte, 128)
+	st.Begin(1)
+	var rids []storage.RID
+	for i := 0; i < 1000; i++ {
+		rid, _ := st.Insert(1, payload)
+		rids = append(rids, rid)
+	}
+	st.Commit(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Get(rids[i%len(rids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObjectFlushCommit(b *testing.B) {
+	dir := b.TempDir()
+	db, err := oodb.Open(oodb.Options{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	cls := oodb.NewClass("Rec", oodb.Attr{Name: "v", Type: oodb.TInt})
+	db.Dictionary().Register(cls)
+	setup := db.Begin()
+	obj, _ := db.NewObject(setup, "Rec")
+	db.SetRoot(setup, "r", obj)
+	setup.Commit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		db.Set(tx, obj, "v", int64(i))
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// reachd is an interactive shell over a REACH database: define
+// monitored classes, create and name objects, mutate them through
+// sentried update methods, load ECA rules in the REACH rule language,
+// and query with OQL — with every command's events flowing through
+// the integrated rule engine.
+//
+//	reachd -dir /tmp/plantdb
+//
+// Commands (one per line; 'help' lists them):
+//
+//	class River level:int temp:float name:string
+//	new River as Rhine
+//	invoke Rhine update_level 42
+//	rule <rule text ...>;           (reads until a line ending in };)
+//	load rules.rules
+//	query select r from River r where r.level < 37
+//	index River level
+//	get Rhine level | set Rhine temp 26.5
+//	roots | classes | stats | history | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	reach "repro"
+	"repro/internal/oodb"
+)
+
+func main() {
+	dir := flag.String("dir", "", "storage directory (empty = in-memory)")
+	flag.Parse()
+
+	sys, err := reach.Open(reach.Options{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reachd:", err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+	fmt.Println("REACH shell — an integrated active OODBMS. Type 'help'.")
+	repl(sys, bufio.NewScanner(os.Stdin))
+}
+
+func repl(sys *reach.System, sc *bufio.Scanner) {
+	var ruleBuf strings.Builder
+	inRule := false
+	for {
+		if inRule {
+			fmt.Print("... ")
+		} else {
+			fmt.Print("reach> ")
+		}
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if inRule {
+			ruleBuf.WriteString(line)
+			ruleBuf.WriteString("\n")
+			if strings.HasSuffix(line, "};") {
+				inRule = false
+				if _, err := sys.LoadRules(ruleBuf.String()); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Println("rule loaded")
+				}
+				ruleBuf.Reset()
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			help()
+		case "class":
+			if err := defineClass(sys, args); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "new":
+			if err := newObject(sys, args); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "set", "get", "invoke", "delete":
+			if err := objectCmd(sys, cmd, args); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "rule":
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "rule"))
+			ruleBuf.WriteString("rule " + rest + "\n")
+			if strings.HasSuffix(rest, "};") {
+				if _, err := sys.LoadRules(ruleBuf.String()); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Println("rule loaded")
+				}
+				ruleBuf.Reset()
+			} else {
+				inRule = true
+			}
+		case "load":
+			if len(args) != 1 {
+				fmt.Println("usage: load <file>")
+				continue
+			}
+			src, err := os.ReadFile(args[0])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			loaded, err := sys.LoadRules(string(src))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("loaded %d rule(s)\n", len(loaded.Rules))
+		case "query":
+			q := strings.TrimSpace(strings.TrimPrefix(line, "query"))
+			if err := runQuery(sys, q); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "index":
+			if len(args) != 2 {
+				fmt.Println("usage: index <Class> <attr>")
+				continue
+			}
+			if _, err := sys.Query.CreateIndex(args[0], args[1]); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("index on %s.%s created (maintained by ECA rules)\n", args[0], args[1])
+			}
+		case "roots":
+			for _, n := range sys.DB.RootNames() {
+				fmt.Println(" ", n)
+			}
+		case "classes":
+			for _, n := range sys.DB.Dictionary().Classes() {
+				fmt.Println(" ", n)
+			}
+		case "stats":
+			st := sys.Engine.Stats()
+			fmt.Printf("  events=%d immediate=%d deferred=%d detached=%d composites=%d\n",
+				st.Events, st.ImmediateFired, st.DeferredFired, st.DetachedFired, st.CompositesDetected)
+			useful, useless, pot := sys.Engine.Dispatcher().Stats()
+			fmt.Printf("  sentry overhead: useful=%d useless=%d potentially-useful=%d\n", useful, useless, pot)
+			ss := sys.DB.StorageStats()
+			fmt.Printf("  storage: pages=%d buffer hits/misses=%d/%d wal-syncs=%d\n",
+				ss.Pages, ss.BufferHits, ss.BufferMiss, ss.WALSyncs)
+		case "history":
+			for _, en := range sys.Engine.GlobalHistory() {
+				fmt.Printf("  #%d txn=%d %s\n", en.Seq, en.Txn, en.Key)
+			}
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+		}
+	}
+}
+
+func help() {
+	fmt.Print(`  class <Name> <attr:type>...   define a monitored class (types: int float string bool ref)
+  new <Class> [as <root>]       create an object, optionally naming it
+  get <root> <attr>             read an attribute
+  set <root> <attr> <value>     write an attribute (raises a state-change event)
+  invoke <root> update_<attr> <value>   sentried update method
+  delete <root>                 delete an object (raises the destructor event)
+  rule <REACH rule text>;       define a rule inline (multi-line until };)
+  load <file>                   load a .rules file
+  query select v from Class v [where ...]   OQL query
+  index <Class> <attr>          create an ECA-maintained hash index
+  roots | classes | stats | history | quit
+`)
+}
+
+func defineClass(sys *reach.System, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: class <Name> <attr:type>...")
+	}
+	name := args[0]
+	var attrs []reach.Attr
+	for _, spec := range args[1:] {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("attribute %q must be name:type", spec)
+		}
+		var t oodb.AttrType
+		switch parts[1] {
+		case "int":
+			t = reach.TInt
+		case "float":
+			t = reach.TFloat
+		case "string":
+			t = reach.TString
+		case "bool":
+			t = reach.TBool
+		case "ref":
+			t = reach.TRef
+		default:
+			return fmt.Errorf("unknown type %q", parts[1])
+		}
+		attrs = append(attrs, reach.Attr{Name: parts[0], Type: t})
+	}
+	cls := reach.NewClass(name, attrs...)
+	cls.Monitored = true
+	// A sentried update method per attribute, so rules can trap
+	// `after obj->update_<attr>(x)`.
+	for _, a := range attrs {
+		attr := a.Name
+		cls.Method("update_"+attr, func(ctx *reach.Ctx, self *reach.Object, args []any) (any, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("update_%s needs one argument", attr)
+			}
+			return nil, ctx.Set(self, attr, args[0])
+		})
+	}
+	if err := sys.RegisterClass(cls); err != nil {
+		return err
+	}
+	fmt.Printf("class %s registered (monitored, %d update methods)\n", name, len(attrs))
+	return nil
+}
+
+func newObject(sys *reach.System, args []string) error {
+	if len(args) != 1 && !(len(args) == 3 && args[1] == "as") {
+		return fmt.Errorf("usage: new <Class> [as <root>]")
+	}
+	tx := sys.Begin()
+	obj, err := sys.DB.NewObject(tx, args[0])
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if len(args) == 3 {
+		if err := sys.DB.SetRoot(tx, args[2], obj); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	fmt.Printf("created %v\n", obj)
+	return nil
+}
+
+func objectCmd(sys *reach.System, cmd string, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: %s <root> ...", cmd)
+	}
+	tx := sys.Begin()
+	obj, err := sys.DB.Root(tx, args[0])
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	switch cmd {
+	case "get":
+		if len(args) != 2 {
+			tx.Abort()
+			return fmt.Errorf("usage: get <root> <attr>")
+		}
+		v, err := sys.DB.Get(tx, obj, args[1])
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		fmt.Printf("%v\n", v)
+	case "set":
+		if len(args) != 3 {
+			tx.Abort()
+			return fmt.Errorf("usage: set <root> <attr> <value>")
+		}
+		if err := sys.DB.Set(tx, obj, args[1], parseValue(args[2])); err != nil {
+			tx.Abort()
+			return err
+		}
+	case "invoke":
+		if len(args) < 2 {
+			tx.Abort()
+			return fmt.Errorf("usage: invoke <root> <method> [args...]")
+		}
+		callArgs := make([]any, 0, len(args)-2)
+		for _, a := range args[2:] {
+			callArgs = append(callArgs, parseValue(a))
+		}
+		res, err := sys.DB.Invoke(tx, obj, args[1], callArgs...)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		if res != nil {
+			fmt.Printf("-> %v\n", res)
+		}
+	case "delete":
+		if err := sys.DB.Delete(tx, obj); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+func runQuery(sys *reach.System, q string) error {
+	tx := sys.Begin()
+	defer tx.Commit()
+	objs, err := sys.Query.OQL(tx, q)
+	if err != nil {
+		return err
+	}
+	for _, obj := range objs {
+		fmt.Printf("  %v {", obj)
+		for i, a := range obj.Class().Attrs() {
+			v, _ := sys.DB.Get(tx, obj, a.Name)
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s: %v", a.Name, v)
+		}
+		fmt.Println("}")
+	}
+	fmt.Printf("  (%d object(s))\n", len(objs))
+	return nil
+}
+
+func parseValue(s string) any {
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v
+	}
+	if s == "true" {
+		return true
+	}
+	if s == "false" {
+		return false
+	}
+	return strings.Trim(s, `"`)
+}

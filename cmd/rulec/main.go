@@ -1,0 +1,74 @@
+// rulec is the REACH rule-language compiler front end: it parses rule
+// definition files, reports syntax errors with line numbers, and
+// prints a summary of each rule — the events it triggers on, its
+// coupling modes, priorities, and the composite events it would
+// define.
+//
+//	rulec file.rules [file2.rules ...]
+//	echo 'rule R { ... };' | rulec -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	reach "repro"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rulec <file.rules>... (or - for stdin)")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range args {
+		var src []byte
+		var err error
+		if path == "-" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rulec: %v\n", err)
+			exit = 1
+			continue
+		}
+		decls, err := reach.ParseRules(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s: %d rule(s) OK\n", path, len(decls))
+		for _, d := range decls {
+			condMode := d.CondMode
+			if condMode == "" {
+				condMode = d.ActionMode
+			}
+			if condMode == "" {
+				condMode = "detached (default)"
+			}
+			actionMode := d.ActionMode
+			if actionMode == "" {
+				actionMode = "detached (default)"
+			}
+			fmt.Printf("  rule %-20s prio %-4d event %-40v cond %s / action %s\n",
+				d.Name, d.Prio, d.Event, condMode, actionMode)
+			if d.Scope != "" || d.Policy != "" || d.Validity != 0 {
+				fmt.Printf("    composite: scope=%s policy=%s validity=%v\n",
+					orDefault(d.Scope, "transaction"), orDefault(d.Policy, "chronicle"), d.Validity)
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+// Quickstart: open a REACH database, define a monitored class, load a
+// rule in the REACH rule language, and watch it fire.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	reach "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "reach-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := reach.Open(reach.Options{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// A monitored class: every method invocation and attribute change
+	// is trapped by the sentry and delivered to the rule engine.
+	account := reach.NewClass("Account",
+		reach.Attr{Name: "owner", Type: reach.TString},
+		reach.Attr{Name: "balance", Type: reach.TInt},
+	)
+	account.Monitored = true
+	account.Method("deposit", func(ctx *reach.Ctx, self *reach.Object, args []any) (any, error) {
+		b, err := ctx.GetInt(self, "balance")
+		if err != nil {
+			return nil, err
+		}
+		return nil, ctx.Set(self, "balance", b+args[0].(int64))
+	})
+	account.Method("withdraw", func(ctx *reach.Ctx, self *reach.Object, args []any) (any, error) {
+		b, err := ctx.GetInt(self, "balance")
+		if err != nil {
+			return nil, err
+		}
+		return nil, ctx.Set(self, "balance", b-args[0].(int64))
+	})
+	if err := sys.RegisterClass(account); err != nil {
+		log.Fatal(err)
+	}
+
+	// Create and persist an account under a root name.
+	tx := sys.Begin()
+	acct, err := sys.DB.NewObject(tx, "Account")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.DB.Set(tx, acct, "owner", "ada")
+	sys.DB.Set(tx, acct, "balance", 100)
+	if err := sys.DB.SetRoot(tx, "ada-account", acct); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// An integrity rule in the REACH rule language: withdrawals that
+	// would overdraw the account are vetoed immediately.
+	loaded, err := sys.LoadRules(`
+rule NoOverdraft {
+    prio 10;
+    decl Account *a, int amount;
+    event before a->withdraw(amount);
+    cond imm a.balance - amount < 0;
+    action imm abort "overdraft refused";
+};
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer loaded.Stop()
+
+	tx2 := sys.Begin()
+	if _, err := sys.DB.Invoke(tx2, acct, "withdraw", int64(30)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("withdraw 30: ok")
+	if _, err := sys.DB.Invoke(tx2, acct, "withdraw", int64(500)); err != nil {
+		fmt.Println("withdraw 500:", err)
+	} else {
+		log.Fatal("overdraft was not vetoed")
+	}
+	if err := tx2.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	tx3 := sys.Begin()
+	balance, _ := sys.DB.Get(tx3, acct, "balance")
+	fmt.Printf("final balance: %d\n", balance)
+	tx3.Commit()
+
+	st := sys.Engine.Stats()
+	fmt.Printf("engine: %d events, %d immediate rule firings\n", st.Events, st.ImmediateFired)
+}

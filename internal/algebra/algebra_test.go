@@ -1,0 +1,500 @@
+package algebra
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+var base = time.Date(1995, 3, 6, 0, 0, 0, 0, time.UTC)
+
+// ev builds a primitive occurrence with sequence number seq.
+func ev(key string, seq uint64, txn uint64) *event.Instance {
+	return &event.Instance{
+		SpecKey: key,
+		Kind:    event.KindMethod,
+		Seq:     seq,
+		Txn:     txn,
+		Time:    base.Add(time.Duration(seq) * time.Second),
+	}
+}
+
+func mustComposer(t *testing.T, c *Composite) *Composer {
+	t.Helper()
+	cp, err := NewComposer(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func seq2(policy Policy) *Composite {
+	return &Composite{
+		Name:   "s",
+		Expr:   Seq{Exprs: []Expr{Prim{Key: "E1"}, Prim{Key: "E2"}}},
+		Policy: policy,
+		Scope:  ScopeTransaction,
+	}
+}
+
+func TestSeqBasicFiresInOrder(t *testing.T) {
+	cp := mustComposer(t, seq2(Chronicle))
+	if got := cp.Feed(ev("E1", 1, 1)); len(got) != 0 {
+		t.Fatalf("fired on initiator: %v", got)
+	}
+	got := cp.Feed(ev("E2", 2, 1))
+	if len(got) != 1 {
+		t.Fatalf("fired %d, want 1", len(got))
+	}
+	in := got[0]
+	if in.SpecKey != "composite:s" || in.Kind != event.KindComposite {
+		t.Fatalf("completion identity wrong: %+v", in)
+	}
+	if len(in.Parts) != 2 || in.Parts[0].SpecKey != "E1" || in.Parts[1].SpecKey != "E2" {
+		t.Fatalf("parts = %v", in.Parts)
+	}
+	if in.Txn != 1 {
+		t.Fatalf("single-txn composite Txn = %d, want 1", in.Txn)
+	}
+}
+
+func TestSeqOutOfOrderDoesNotFire(t *testing.T) {
+	cp := mustComposer(t, seq2(Chronicle))
+	if got := cp.Feed(ev("E2", 1, 1)); len(got) != 0 {
+		t.Fatalf("E2 alone fired: %v", got)
+	}
+	if got := cp.Feed(ev("E1", 2, 1)); len(got) != 0 {
+		t.Fatalf("E1 after E2 fired: %v", got)
+	}
+	// But a later E2 completes with the stored E1.
+	if got := cp.Feed(ev("E2", 3, 1)); len(got) != 1 {
+		t.Fatalf("E1;E2 did not fire: %v", got)
+	}
+}
+
+// The paper's §3.4 example: e1, e1', e2 arrive; which e1 is used?
+func TestConsumptionPolicyPaperExample(t *testing.T) {
+	e1 := func(seq uint64) *event.Instance { return ev("E1", seq, 1) }
+	e2 := ev("E2", 3, 1)
+
+	t.Run("recent uses e1'", func(t *testing.T) {
+		cp := mustComposer(t, seq2(Recent))
+		cp.Feed(e1(1))
+		cp.Feed(e1(2))
+		got := cp.Feed(e2)
+		if len(got) != 1 || got[0].Parts[0].Seq != 2 {
+			t.Fatalf("recent picked seq %d, want 2 (the most recent)", got[0].Parts[0].Seq)
+		}
+	})
+	t.Run("chronicle uses e1", func(t *testing.T) {
+		cp := mustComposer(t, seq2(Chronicle))
+		cp.Feed(e1(1))
+		cp.Feed(e1(2))
+		got := cp.Feed(e2)
+		if len(got) != 1 || got[0].Parts[0].Seq != 1 {
+			t.Fatalf("chronicle picked seq %d, want 1 (chronological)", got[0].Parts[0].Seq)
+		}
+	})
+	t.Run("continuous fires one window per initiator", func(t *testing.T) {
+		cp := mustComposer(t, seq2(Continuous))
+		cp.Feed(e1(1))
+		cp.Feed(e1(2))
+		got := cp.Feed(e2)
+		if len(got) != 2 {
+			t.Fatalf("continuous fired %d, want 2", len(got))
+		}
+	})
+	t.Run("cumulative carries both", func(t *testing.T) {
+		cp := mustComposer(t, seq2(Cumulative))
+		cp.Feed(e1(1))
+		cp.Feed(e1(2))
+		got := cp.Feed(e2)
+		if len(got) != 1 || len(got[0].Parts) != 3 {
+			t.Fatalf("cumulative parts = %d, want 3 (e1, e1', e2)", len(got[0].Parts))
+		}
+	})
+}
+
+func TestChronicleConsumesInOrder(t *testing.T) {
+	cp := mustComposer(t, seq2(Chronicle))
+	cp.Feed(ev("E1", 1, 1))
+	cp.Feed(ev("E1", 2, 1))
+	first := cp.Feed(ev("E2", 3, 1))
+	second := cp.Feed(ev("E2", 4, 1))
+	if first[0].Parts[0].Seq != 1 || second[0].Parts[0].Seq != 2 {
+		t.Fatalf("chronicle order wrong: %d then %d", first[0].Parts[0].Seq, second[0].Parts[0].Seq)
+	}
+	if got := cp.Feed(ev("E2", 5, 1)); len(got) != 0 {
+		t.Fatalf("fired with consumed initiators: %v", got)
+	}
+}
+
+func TestRecentReusesInitiator(t *testing.T) {
+	cp := mustComposer(t, seq2(Recent))
+	cp.Feed(ev("E1", 1, 1))
+	a := cp.Feed(ev("E2", 2, 1))
+	b := cp.Feed(ev("E2", 3, 1))
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("recent should reuse the initiator: %d, %d", len(a), len(b))
+	}
+	if a[0].Parts[0].Seq != 1 || b[0].Parts[0].Seq != 1 {
+		t.Fatal("reused initiator changed")
+	}
+}
+
+func TestSeqThreeStage(t *testing.T) {
+	c := &Composite{
+		Name:   "s3",
+		Expr:   Seq{Exprs: []Expr{Prim{Key: "A"}, Prim{Key: "B"}, Prim{Key: "C"}}},
+		Policy: Chronicle,
+		Scope:  ScopeTransaction,
+	}
+	cp := mustComposer(t, c)
+	cp.Feed(ev("B", 1, 1)) // B before A must not count
+	cp.Feed(ev("A", 2, 1))
+	if got := cp.Feed(ev("C", 3, 1)); len(got) != 0 {
+		t.Fatalf("A;B;C fired without B after A: %v", got)
+	}
+	cp.Feed(ev("B", 4, 1))
+	got := cp.Feed(ev("C", 5, 1))
+	if len(got) != 1 {
+		t.Fatalf("A;B;C fired %d, want 1", len(got))
+	}
+	seqs := []uint64{got[0].Parts[0].Seq, got[0].Parts[1].Seq, got[0].Parts[2].Seq}
+	if seqs[0] != 2 || seqs[1] != 4 || seqs[2] != 5 {
+		t.Fatalf("chain = %v, want [2 4 5]", seqs)
+	}
+}
+
+func TestConjAnyOrder(t *testing.T) {
+	c := &Composite{
+		Name:   "c",
+		Expr:   Conj{Exprs: []Expr{Prim{Key: "A"}, Prim{Key: "B"}}},
+		Policy: Chronicle,
+		Scope:  ScopeTransaction,
+	}
+	cp := mustComposer(t, c)
+	if got := cp.Feed(ev("B", 1, 1)); len(got) != 0 {
+		t.Fatal("conj fired with one constituent")
+	}
+	if got := cp.Feed(ev("A", 2, 1)); len(got) != 1 {
+		t.Fatalf("conj did not fire when completed: %v", got)
+	}
+}
+
+func TestDisjEitherFires(t *testing.T) {
+	c := &Composite{
+		Name:   "d",
+		Expr:   Disj{Exprs: []Expr{Prim{Key: "A"}, Prim{Key: "B"}}},
+		Policy: Chronicle,
+		Scope:  ScopeTransaction,
+	}
+	cp := mustComposer(t, c)
+	if got := cp.Feed(ev("A", 1, 1)); len(got) != 1 {
+		t.Fatal("disj did not fire on A")
+	}
+	if got := cp.Feed(ev("B", 2, 1)); len(got) != 1 {
+		t.Fatal("disj did not fire on B")
+	}
+	if got := cp.Feed(ev("C", 3, 1)); len(got) != 0 {
+		t.Fatal("disj fired on unrelated event")
+	}
+}
+
+func TestSeqWithNegationGuard(t *testing.T) {
+	// A; !B; C — fire on A..C without B in between.
+	c := &Composite{
+		Name:   "g",
+		Expr:   Seq{Exprs: []Expr{Prim{Key: "A"}, Neg{Of: Prim{Key: "B"}}, Prim{Key: "C"}}},
+		Policy: Chronicle,
+		Scope:  ScopeTransaction,
+	}
+	cp := mustComposer(t, c)
+	cp.Feed(ev("A", 1, 1))
+	cp.Feed(ev("B", 2, 1)) // poisons the pending A
+	if got := cp.Feed(ev("C", 3, 1)); len(got) != 0 {
+		t.Fatalf("guarded sequence fired despite B: %v", got)
+	}
+	cp.Feed(ev("A", 4, 1))
+	if got := cp.Feed(ev("C", 5, 1)); len(got) != 1 {
+		t.Fatalf("guarded sequence did not fire without B: %v", got)
+	}
+}
+
+func TestStandaloneNegationFiresAtFlush(t *testing.T) {
+	c := &Composite{
+		Name:   "n",
+		Expr:   Neg{Of: Prim{Key: "heartbeat"}},
+		Policy: Chronicle,
+		Scope:  ScopeTransaction,
+	}
+	cp := mustComposer(t, c)
+	if got := cp.Flush(base.Add(time.Minute)); len(got) != 1 {
+		t.Fatalf("negation without occurrence did not fire at flush: %v", got)
+	}
+	// Second span: heartbeat arrives, no firing.
+	cp.Feed(ev("heartbeat", 1, 1))
+	if got := cp.Flush(base.Add(2 * time.Minute)); len(got) != 0 {
+		t.Fatalf("negation fired despite occurrence: %v", got)
+	}
+	// Third span: poisoning was reset by the flush.
+	if got := cp.Flush(base.Add(3 * time.Minute)); len(got) != 1 {
+		t.Fatal("negation state not reset between life-spans")
+	}
+}
+
+func TestClosureCollapsesAtFlush(t *testing.T) {
+	c := &Composite{
+		Name:   "cl",
+		Expr:   Closure{Of: Prim{Key: "tick"}},
+		Policy: Chronicle,
+		Scope:  ScopeTransaction,
+	}
+	cp := mustComposer(t, c)
+	for i := uint64(1); i <= 5; i++ {
+		if got := cp.Feed(ev("tick", i, 1)); len(got) != 0 {
+			t.Fatalf("closure fired before flush: %v", got)
+		}
+	}
+	got := cp.Flush(base.Add(time.Minute))
+	if len(got) != 1 || len(got[0].Parts) != 5 {
+		t.Fatalf("closure flush = %v", got)
+	}
+	if got := cp.Flush(base.Add(2 * time.Minute)); len(got) != 0 {
+		t.Fatal("empty closure fired")
+	}
+}
+
+func TestHistoryCountFires(t *testing.T) {
+	c := &Composite{
+		Name:   "h",
+		Expr:   History{Of: Prim{Key: "alarm"}, Count: 3},
+		Policy: Chronicle,
+		Scope:  ScopeTransaction,
+	}
+	cp := mustComposer(t, c)
+	cp.Feed(ev("alarm", 1, 1))
+	cp.Feed(ev("alarm", 2, 1))
+	got := cp.Feed(ev("alarm", 3, 1))
+	if len(got) != 1 || len(got[0].Parts) != 3 {
+		t.Fatalf("history(3) = %v", got)
+	}
+	// Counter restarts.
+	cp.Feed(ev("alarm", 4, 1))
+	cp.Feed(ev("alarm", 5, 1))
+	if got := cp.Feed(ev("alarm", 6, 1)); len(got) != 1 {
+		t.Fatal("history did not restart")
+	}
+}
+
+func TestNestedComposition(t *testing.T) {
+	// (A & B); C
+	c := &Composite{
+		Name: "nested",
+		Expr: Seq{Exprs: []Expr{
+			Conj{Exprs: []Expr{Prim{Key: "A"}, Prim{Key: "B"}}},
+			Prim{Key: "C"},
+		}},
+		Policy: Chronicle,
+		Scope:  ScopeTransaction,
+	}
+	cp := mustComposer(t, c)
+	cp.Feed(ev("B", 1, 1))
+	if got := cp.Feed(ev("C", 2, 1)); len(got) != 0 {
+		t.Fatal("fired before conjunction complete")
+	}
+	cp.Feed(ev("A", 3, 1))
+	got := cp.Feed(ev("C", 4, 1))
+	if len(got) != 1 {
+		t.Fatalf("nested fired %d, want 1", len(got))
+	}
+	flat := got[0].Flatten()
+	if len(flat) != 3 {
+		t.Fatalf("nested flatten = %d parts, want 3", len(flat))
+	}
+}
+
+func TestMultiTxnCompositeTxnZero(t *testing.T) {
+	c := &Composite{
+		Name:     "x",
+		Expr:     Seq{Exprs: []Expr{Prim{Key: "E1"}, Prim{Key: "E2"}}},
+		Policy:   Chronicle,
+		Scope:    ScopeGlobal,
+		Validity: time.Hour,
+	}
+	cp := mustComposer(t, c)
+	cp.Feed(ev("E1", 1, 7))
+	got := cp.Feed(ev("E2", 2, 8))
+	if len(got) != 1 {
+		t.Fatal("cross-txn composite did not fire")
+	}
+	if got[0].Txn != 0 {
+		t.Fatalf("multi-txn composite Txn = %d, want 0", got[0].Txn)
+	}
+	txns := got[0].Transactions()
+	if !txns[7] || !txns[8] {
+		t.Fatalf("constituent txns = %v", txns)
+	}
+}
+
+func TestFlushDiscardsSemiComposed(t *testing.T) {
+	cp := mustComposer(t, seq2(Chronicle))
+	cp.Feed(ev("E1", 1, 1))
+	if cp.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", cp.Pending())
+	}
+	cp.Flush(base)
+	if cp.Pending() != 0 {
+		t.Fatalf("Pending after flush = %d, want 0", cp.Pending())
+	}
+	if got := cp.Feed(ev("E2", 2, 1)); len(got) != 0 {
+		t.Fatal("stale initiator survived flush")
+	}
+}
+
+func TestValidityExpiry(t *testing.T) {
+	c := &Composite{
+		Name:     "v",
+		Expr:     Seq{Exprs: []Expr{Prim{Key: "E1"}, Prim{Key: "E2"}}},
+		Policy:   Chronicle,
+		Scope:    ScopeGlobal,
+		Validity: 10 * time.Second,
+	}
+	cp := mustComposer(t, c)
+	cp.Feed(ev("E1", 1, 1)) // at base+1s
+	dropped := cp.Expire(base.Add(30 * time.Second))
+	if dropped != 1 {
+		t.Fatalf("Expire dropped %d, want 1", dropped)
+	}
+	if got := cp.Feed(ev("E2", 2, 2)); len(got) != 0 {
+		t.Fatal("expired initiator completed a composite")
+	}
+	// Within validity nothing is dropped.
+	cp.Feed(ev("E1", 40, 3))
+	if dropped := cp.Expire(base.Add(45 * time.Second)); dropped != 0 {
+		t.Fatalf("Expire dropped %d, want 0", dropped)
+	}
+}
+
+func TestGlobalScopeRequiresValidity(t *testing.T) {
+	c := &Composite{
+		Name:   "bad",
+		Expr:   Seq{Exprs: []Expr{Prim{Key: "E1"}, Prim{Key: "E2"}}},
+		Policy: Chronicle,
+		Scope:  ScopeGlobal,
+	}
+	if _, err := NewComposer(c); err == nil {
+		t.Fatal("global composite without validity accepted")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := []Expr{
+		nil,
+		Prim{},
+		Seq{Exprs: []Expr{Prim{Key: "A"}}},
+		Seq{Exprs: []Expr{Neg{Of: Prim{Key: "A"}}, Prim{Key: "B"}}},
+		Seq{Exprs: []Expr{Prim{Key: "A"}, Neg{Of: Prim{Key: "B"}}}},
+		Seq{Exprs: []Expr{Prim{Key: "A"}, Neg{Of: Prim{Key: "B"}}, Neg{Of: Prim{Key: "C"}}}},
+		Conj{Exprs: []Expr{Prim{Key: "A"}}},
+		Disj{},
+		Neg{Of: Neg{Of: Prim{Key: "A"}}},
+		History{Of: Prim{Key: "A"}, Count: 0},
+	}
+	for i, e := range bad {
+		if err := Validate(e); err == nil {
+			t.Errorf("case %d: Validate(%v) accepted malformed expression", i, e)
+		}
+	}
+	good := []Expr{
+		Prim{Key: "A"},
+		Seq{Exprs: []Expr{Prim{Key: "A"}, Prim{Key: "B"}}},
+		Seq{Exprs: []Expr{Prim{Key: "A"}, Neg{Of: Prim{Key: "B"}}, Prim{Key: "C"}}},
+		Closure{Of: Prim{Key: "A"}},
+		History{Of: Prim{Key: "A"}, Count: 2},
+		Neg{Of: Prim{Key: "A"}},
+	}
+	for i, e := range good {
+		if err := Validate(e); err != nil {
+			t.Errorf("case %d: Validate(%v) rejected valid expression: %v", i, e, err)
+		}
+	}
+}
+
+func TestPrimitiveKeys(t *testing.T) {
+	e := Seq{Exprs: []Expr{
+		Prim{Key: "A"},
+		Neg{Of: Prim{Key: "B"}},
+		Conj{Exprs: []Expr{Prim{Key: "C"}, Prim{Key: "A"}}},
+	}}
+	keys := PrimitiveKeys(e)
+	if len(keys) != 3 {
+		t.Fatalf("PrimitiveKeys = %v, want 3 distinct", keys)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := Seq{Exprs: []Expr{
+		Prim{Key: "A"},
+		Neg{Of: Prim{Key: "B"}},
+		Disj{Exprs: []Expr{Prim{Key: "C"}, History{Of: Prim{Key: "D"}, Count: 2}}},
+		Closure{Of: Prim{Key: "E"}},
+	}}
+	s := e.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+	for _, sub := range []string{"A", "!B", "C", "times(2, D)", "E*"} {
+		if !contains(s, sub) {
+			t.Errorf("String %q missing %q", s, sub)
+		}
+	}
+	for _, p := range []Policy{Recent, Chronicle, Continuous, Cumulative} {
+		if p.String() == "" {
+			t.Errorf("Policy %d empty String", p)
+		}
+	}
+	if ScopeTransaction.String() == ScopeGlobal.String() {
+		t.Error("scope strings identical")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestListensAndKeys(t *testing.T) {
+	cp := mustComposer(t, seq2(Chronicle))
+	if !cp.Listens("E1") || !cp.Listens("E2") || cp.Listens("E3") {
+		t.Fatal("Listens wrong")
+	}
+	if len(cp.Keys()) != 2 {
+		t.Fatalf("Keys = %v", cp.Keys())
+	}
+}
+
+func TestClosureOfSeq(t *testing.T) {
+	// (A;B)* — collapse all A;B pairs in the life-span into one event.
+	c := &Composite{
+		Name:   "cs",
+		Expr:   Closure{Of: Seq{Exprs: []Expr{Prim{Key: "A"}, Prim{Key: "B"}}}},
+		Policy: Chronicle,
+		Scope:  ScopeTransaction,
+	}
+	cp := mustComposer(t, c)
+	cp.Feed(ev("A", 1, 1))
+	cp.Feed(ev("B", 2, 1))
+	cp.Feed(ev("A", 3, 1))
+	cp.Feed(ev("B", 4, 1))
+	got := cp.Flush(base.Add(time.Minute))
+	if len(got) != 1 || len(got[0].Parts) != 2 {
+		t.Fatalf("closure-of-seq flush: %d fired, parts=%d; want 1 fired with 2 pairs",
+			len(got), len(got[0].Parts))
+	}
+}

@@ -1,0 +1,156 @@
+package algebra
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/event"
+)
+
+// Scope says which life-span rule governs a composite event (§3.3).
+type Scope int
+
+// Composite event scopes.
+const (
+	// ScopeTransaction composes only events originating in a single
+	// transaction; semi-composed state is discarded at EOT.
+	ScopeTransaction Scope = iota + 1
+	// ScopeGlobal composes events across transactions; a validity
+	// interval is mandatory ("composite events without an explicit or
+	// implicit validity interval are illegal").
+	ScopeGlobal
+)
+
+// String implements fmt.Stringer.
+func (s Scope) String() string {
+	if s == ScopeTransaction {
+		return "transaction"
+	}
+	return "global"
+}
+
+// Composite declares a composite event: a named algebra expression
+// with a consumption policy, a scope, and (for global scope) a
+// validity interval.
+type Composite struct {
+	Name     string
+	Expr     Expr
+	Policy   Policy
+	Scope    Scope
+	Validity time.Duration
+}
+
+// Key returns the spec key composite instances are raised under.
+func (c *Composite) Key() string { return event.CompositeSpec{Name: c.Name}.Key() }
+
+// Validate checks the declaration against the paper's rules.
+func (c *Composite) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("algebra: composite needs a name")
+	}
+	if err := Validate(c.Expr); err != nil {
+		return fmt.Errorf("algebra: composite %q: %w", c.Name, err)
+	}
+	switch c.Scope {
+	case ScopeTransaction:
+		// Life-span is the transaction; an additional validity
+		// interval is permitted but not required.
+	case ScopeGlobal:
+		if c.Validity <= 0 {
+			return fmt.Errorf("algebra: composite %q spans transactions but has no validity interval", c.Name)
+		}
+	default:
+		return fmt.Errorf("algebra: composite %q has no scope", c.Name)
+	}
+	switch c.Policy {
+	case Recent, Chronicle, Continuous, Cumulative:
+	default:
+		return fmt.Errorf("algebra: composite %q has invalid consumption policy", c.Name)
+	}
+	return nil
+}
+
+// Composer is one instantiated composition graph for a composite
+// event — one of the paper's "many small compositors" (§6.3). It is
+// not safe for concurrent use; the ECA layer runs each composer on
+// its own goroutine.
+type Composer struct {
+	comp *Composite
+	root detector
+	keys map[string]bool
+}
+
+// NewComposer instantiates the composition graph for c.
+func NewComposer(c *Composite) (*Composer, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	root := c.Expr.build()
+	setPolicy(root, c.Policy)
+	keys := make(map[string]bool)
+	c.Expr.collectKeys(keys)
+	return &Composer{comp: c, root: root, keys: keys}, nil
+}
+
+// Composite returns the declaration this composer detects.
+func (cp *Composer) Composite() *Composite { return cp.comp }
+
+// Listens reports whether the composer consumes the given spec key.
+func (cp *Composer) Listens(specKey string) bool { return cp.keys[specKey] }
+
+// Keys returns the primitive spec keys the composer listens to.
+func (cp *Composer) Keys() []string {
+	out := make([]string, 0, len(cp.keys))
+	for k := range cp.keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Feed delivers one occurrence and returns any completed composite
+// instances, stamped with the composite's spec key.
+func (cp *Composer) Feed(in *event.Instance) []*event.Instance {
+	return cp.finish(cp.root.feed(in))
+}
+
+// Flush ends the composer's life-span: end-of-interval operators
+// complete, everything else is discarded.
+func (cp *Composer) Flush(now time.Time) []*event.Instance {
+	out := cp.finish(cp.root.flush(now))
+	cp.root.reset()
+	return out
+}
+
+// Reset discards all semi-composed state without completing anything.
+func (cp *Composer) Reset() { cp.root.reset() }
+
+// Pending reports the number of buffered semi-composed occurrences.
+func (cp *Composer) Pending() int { return cp.root.pending() }
+
+// Expire garbage-collects semi-composed occurrences whose validity
+// interval has lapsed, returning how many were dropped.
+func (cp *Composer) Expire(now time.Time) int {
+	if cp.comp.Validity <= 0 {
+		return 0
+	}
+	return cp.root.expire(now.Add(-cp.comp.Validity))
+}
+
+// finish stamps raw completions with the composite identity and
+// deduces the originating transaction (single-transaction composites
+// carry it; multi-transaction ones carry zero).
+func (cp *Composer) finish(raw []*event.Instance) []*event.Instance {
+	for _, in := range raw {
+		in.SpecKey = cp.comp.Key()
+		in.Kind = event.KindComposite
+		txns := in.Transactions()
+		if len(txns) == 1 {
+			for t := range txns {
+				in.Txn = t
+			}
+		} else {
+			in.Txn = 0
+		}
+	}
+	return raw
+}

@@ -1,0 +1,689 @@
+package algebra
+
+import (
+	"time"
+
+	"repro/internal/event"
+)
+
+// Policy is the event consumption policy applied when multiple
+// instances of a constituent are available (SNOOP contexts, §3.4).
+type Policy int
+
+// Consumption policies.
+const (
+	// Recent keeps only the most recent occurrence of each
+	// constituent — typical for sensor monitoring.
+	Recent Policy = iota + 1
+	// Chronicle consumes occurrences in chronological order — typical
+	// for workflow applications.
+	Chronicle
+	// Continuous opens a new window per initiator; a terminator
+	// completes every open window — useful for trend monitoring.
+	Continuous
+	// Cumulative accumulates all occurrences until the composite is
+	// raised, which carries all of them.
+	Cumulative
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Recent:
+		return "recent"
+	case Chronicle:
+		return "chronicle"
+	case Continuous:
+		return "continuous"
+	case Cumulative:
+		return "cumulative"
+	}
+	return "policy(?)"
+}
+
+// detector is one node of an instantiated composition graph.
+type detector interface {
+	// feed delivers an occurrence; the return value lists completions
+	// of this node caused by it.
+	feed(in *event.Instance) []*event.Instance
+	// flush ends the life-span: operators that complete at
+	// end-of-interval (closure, standalone negation) emit here.
+	flush(now time.Time) []*event.Instance
+	// reset discards all semi-composed state.
+	reset()
+	// pending counts buffered semi-composed occurrences.
+	pending() int
+	// expire drops buffered occurrences older than cutoff, returning
+	// how many were garbage collected.
+	expire(cutoff time.Time) int
+}
+
+// compose builds an intermediate (anonymous) composite instance from
+// constituent occurrences.
+func compose(parts []*event.Instance) *event.Instance {
+	out := &event.Instance{Kind: event.KindComposite, Parts: parts}
+	for _, p := range parts {
+		if p.Seq > out.Seq {
+			out.Seq = p.Seq
+		}
+		if p.Time.After(out.Time) {
+			out.Time = p.Time
+		}
+	}
+	return out
+}
+
+// ---- primitive ----
+
+func (p Prim) build() detector { return &primDetector{key: p.Key} }
+
+type primDetector struct{ key string }
+
+func (d *primDetector) feed(in *event.Instance) []*event.Instance {
+	if in.SpecKey == d.key {
+		return []*event.Instance{in}
+	}
+	return nil
+}
+func (d *primDetector) flush(time.Time) []*event.Instance { return nil }
+func (d *primDetector) reset()                            {}
+func (d *primDetector) pending() int                      { return 0 }
+func (d *primDetector) expire(time.Time) int              { return 0 }
+
+// ---- disjunction ----
+
+func (x Disj) build() detector {
+	subs := make([]detector, len(x.Exprs))
+	for i, e := range x.Exprs {
+		subs[i] = e.build()
+	}
+	return &disjDetector{subs: subs}
+}
+
+type disjDetector struct{ subs []detector }
+
+func (d *disjDetector) feed(in *event.Instance) []*event.Instance {
+	var out []*event.Instance
+	for _, s := range d.subs {
+		out = append(out, s.feed(in)...)
+	}
+	return out
+}
+
+func (d *disjDetector) flush(now time.Time) []*event.Instance {
+	var out []*event.Instance
+	for _, s := range d.subs {
+		out = append(out, s.flush(now)...)
+	}
+	return out
+}
+
+func (d *disjDetector) reset() {
+	for _, s := range d.subs {
+		s.reset()
+	}
+}
+
+func (d *disjDetector) pending() int {
+	n := 0
+	for _, s := range d.subs {
+		n += s.pending()
+	}
+	return n
+}
+
+func (d *disjDetector) expire(cutoff time.Time) int {
+	n := 0
+	for _, s := range d.subs {
+		n += s.expire(cutoff)
+	}
+	return n
+}
+
+// ---- sequence ----
+
+func (x Seq) build() detector {
+	d := &seqDetector{}
+	for _, e := range x.Exprs {
+		if neg, ok := e.(Neg); ok {
+			// Guard between the previous and next non-guard position.
+			d.guards = append(d.guards, &seqGuard{
+				after: len(d.positions) - 1,
+				det:   neg.Of.build(),
+			})
+			continue
+		}
+		d.positions = append(d.positions, &seqPosition{det: e.build()})
+	}
+	return d
+}
+
+type seqDetector struct {
+	positions []*seqPosition
+	guards    []*seqGuard
+	policy    Policy // set by the composer; zero value treated as Chronicle
+}
+
+type seqPosition struct {
+	det   detector
+	queue []*event.Instance
+}
+
+// seqGuard invalidates pending occurrences at positions <= after when
+// the guarded event occurs (A; !B; C — B kills pending As).
+type seqGuard struct {
+	after int
+	det   detector
+}
+
+func (d *seqDetector) effPolicy() Policy {
+	if d.policy == 0 {
+		return Chronicle
+	}
+	return d.policy
+}
+
+func (d *seqDetector) feed(in *event.Instance) []*event.Instance {
+	// Guards first: an occurrence of the guarded event poisons the
+	// partial matches it protects against.
+	for _, g := range d.guards {
+		for range g.det.feed(in) {
+			for i := 0; i <= g.after && i < len(d.positions); i++ {
+				pos := d.positions[i]
+				kept := pos.queue[:0]
+				for _, o := range pos.queue {
+					if o.Seq > in.Seq {
+						kept = append(kept, o)
+					}
+				}
+				pos.queue = kept
+			}
+		}
+	}
+	var fired []*event.Instance
+	last := len(d.positions) - 1
+	for i, pos := range d.positions {
+		for _, c := range pos.det.feed(in) {
+			if i == last {
+				fired = append(fired, d.completeWith(c)...)
+			} else {
+				d.enqueue(i, c)
+			}
+		}
+	}
+	return fired
+}
+
+// enqueue stores an intermediate occurrence under the policy's
+// retention rule.
+func (d *seqDetector) enqueue(i int, c *event.Instance) {
+	pos := d.positions[i]
+	if d.effPolicy() == Recent {
+		pos.queue = pos.queue[:0]
+	}
+	pos.queue = append(pos.queue, c)
+}
+
+// completeWith attempts matches ending at terminator term.
+func (d *seqDetector) completeWith(term *event.Instance) []*event.Instance {
+	n := len(d.positions)
+	switch d.effPolicy() {
+	case Recent:
+		chain := d.pickChain(term, true)
+		if chain == nil {
+			return nil
+		}
+		// Recent keeps constituents for reuse by later terminators.
+		return []*event.Instance{compose(append(chain, term))}
+	case Chronicle:
+		chain := d.pickChain(term, false)
+		if chain == nil {
+			return nil
+		}
+		d.consume(chain)
+		return []*event.Instance{compose(append(chain, term))}
+	case Continuous:
+		// One completion per open initiator window. Only occurrences
+		// strictly before the terminator participate or are consumed:
+		// when the same event type both initiates and terminates (a
+		// tick stream), the terminator's own just-opened window stays.
+		var out []*event.Instance
+		initiators := append([]*event.Instance(nil), d.positions[0].queue...)
+		for _, init := range initiators {
+			chain := d.pickChainFrom(init, term)
+			if chain != nil {
+				out = append(out, compose(append(chain, term)))
+			}
+		}
+		if len(out) > 0 {
+			for _, pos := range d.positions[:n-1] {
+				kept := pos.queue[:0]
+				for _, o := range pos.queue {
+					if o.Seq >= term.Seq {
+						kept = append(kept, o)
+					}
+				}
+				pos.queue = kept
+			}
+		}
+		return out
+	case Cumulative:
+		chain := d.pickChain(term, false)
+		if chain == nil {
+			return nil
+		}
+		// The composite carries everything accumulated before the
+		// terminator.
+		var all []*event.Instance
+		for _, pos := range d.positions[:n-1] {
+			kept := pos.queue[:0]
+			for _, o := range pos.queue {
+				if o.Seq < term.Seq {
+					all = append(all, o)
+				} else {
+					kept = append(kept, o)
+				}
+			}
+			pos.queue = kept
+		}
+		all = append(all, term)
+		return []*event.Instance{compose(all)}
+	}
+	return nil
+}
+
+// pickChain selects one ascending occurrence chain ending at term:
+// newest-first when recent is true, oldest-first otherwise. It
+// returns nil when no chain exists.
+func (d *seqDetector) pickChain(term *event.Instance, recent bool) []*event.Instance {
+	n := len(d.positions)
+	chain := make([]*event.Instance, n-1)
+	if recent {
+		upper := term.Seq
+		for i := n - 2; i >= 0; i-- {
+			var pick *event.Instance
+			for _, o := range d.positions[i].queue {
+				if o.Seq < upper && (pick == nil || o.Seq > pick.Seq) {
+					pick = o
+				}
+			}
+			if pick == nil {
+				return nil
+			}
+			chain[i] = pick
+			upper = pick.Seq
+		}
+		return chain
+	}
+	lower := uint64(0)
+	for i := 0; i < n-1; i++ {
+		var pick *event.Instance
+		for _, o := range d.positions[i].queue {
+			if o.Seq > lower && o.Seq < term.Seq && (pick == nil || o.Seq < pick.Seq) {
+				pick = o
+			}
+		}
+		if pick == nil {
+			return nil
+		}
+		chain[i] = pick
+		lower = pick.Seq
+	}
+	return chain
+}
+
+// pickChainFrom selects the oldest ascending chain that starts at a
+// specific initiator.
+func (d *seqDetector) pickChainFrom(init, term *event.Instance) []*event.Instance {
+	n := len(d.positions)
+	if init.Seq >= term.Seq {
+		return nil
+	}
+	chain := make([]*event.Instance, n-1)
+	chain[0] = init
+	lower := init.Seq
+	for i := 1; i < n-1; i++ {
+		var pick *event.Instance
+		for _, o := range d.positions[i].queue {
+			if o.Seq > lower && o.Seq < term.Seq && (pick == nil || o.Seq < pick.Seq) {
+				pick = o
+			}
+		}
+		if pick == nil {
+			return nil
+		}
+		chain[i] = pick
+		lower = pick.Seq
+	}
+	return chain
+}
+
+// consume removes the chosen occurrences from their queues.
+func (d *seqDetector) consume(chain []*event.Instance) {
+	for i, used := range chain {
+		pos := d.positions[i]
+		for j, o := range pos.queue {
+			if o == used {
+				pos.queue = append(pos.queue[:j], pos.queue[j+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (d *seqDetector) flush(now time.Time) []*event.Instance {
+	// Sub-detector flushes may complete end positions.
+	var fired []*event.Instance
+	last := len(d.positions) - 1
+	for i, pos := range d.positions {
+		for _, c := range pos.det.flush(now) {
+			if i == last {
+				fired = append(fired, d.completeWith(c)...)
+			} else {
+				d.enqueue(i, c)
+			}
+		}
+	}
+	return fired
+}
+
+func (d *seqDetector) reset() {
+	for _, pos := range d.positions {
+		pos.queue = nil
+		pos.det.reset()
+	}
+	for _, g := range d.guards {
+		g.det.reset()
+	}
+}
+
+func (d *seqDetector) pending() int {
+	n := 0
+	for _, pos := range d.positions {
+		n += len(pos.queue) + pos.det.pending()
+	}
+	for _, g := range d.guards {
+		n += g.det.pending()
+	}
+	return n
+}
+
+func (d *seqDetector) expire(cutoff time.Time) int {
+	n := 0
+	for _, pos := range d.positions {
+		kept := pos.queue[:0]
+		for _, o := range pos.queue {
+			if o.Time.Before(cutoff) {
+				n++
+			} else {
+				kept = append(kept, o)
+			}
+		}
+		pos.queue = kept
+		n += pos.det.expire(cutoff)
+	}
+	for _, g := range d.guards {
+		n += g.det.expire(cutoff)
+	}
+	return n
+}
+
+// ---- conjunction ----
+
+func (x Conj) build() detector {
+	d := &conjDetector{}
+	for _, e := range x.Exprs {
+		d.positions = append(d.positions, &seqPosition{det: e.build()})
+	}
+	return d
+}
+
+type conjDetector struct {
+	positions []*seqPosition
+	policy    Policy
+}
+
+func (d *conjDetector) effPolicy() Policy {
+	if d.policy == 0 {
+		return Chronicle
+	}
+	return d.policy
+}
+
+func (d *conjDetector) feed(in *event.Instance) []*event.Instance {
+	var fired []*event.Instance
+	for i, pos := range d.positions {
+		for _, c := range pos.det.feed(in) {
+			if d.effPolicy() == Recent {
+				pos.queue = pos.queue[:0]
+			}
+			pos.queue = append(pos.queue, c)
+			_ = i
+		}
+	}
+	return append(fired, d.tryComplete()...)
+}
+
+func (d *conjDetector) tryComplete() []*event.Instance {
+	for _, pos := range d.positions {
+		if len(pos.queue) == 0 {
+			return nil
+		}
+	}
+	switch d.effPolicy() {
+	case Cumulative:
+		var all []*event.Instance
+		for _, pos := range d.positions {
+			all = append(all, pos.queue...)
+			pos.queue = pos.queue[:0]
+		}
+		return []*event.Instance{compose(all)}
+	default:
+		// Recent and chronicle (and continuous, which for an unordered
+		// conjunction degenerates to chronicle): one occurrence per
+		// position — oldest for chronicle/continuous, the only one for
+		// recent — consumed on firing.
+		parts := make([]*event.Instance, len(d.positions))
+		for i, pos := range d.positions {
+			parts[i] = pos.queue[0]
+			pos.queue = pos.queue[1:]
+		}
+		return []*event.Instance{compose(parts)}
+	}
+}
+
+func (d *conjDetector) flush(now time.Time) []*event.Instance {
+	for _, pos := range d.positions {
+		for _, c := range pos.det.flush(now) {
+			pos.queue = append(pos.queue, c)
+		}
+	}
+	return d.tryComplete()
+}
+
+func (d *conjDetector) reset() {
+	for _, pos := range d.positions {
+		pos.queue = nil
+		pos.det.reset()
+	}
+}
+
+func (d *conjDetector) pending() int {
+	n := 0
+	for _, pos := range d.positions {
+		n += len(pos.queue) + pos.det.pending()
+	}
+	return n
+}
+
+func (d *conjDetector) expire(cutoff time.Time) int {
+	n := 0
+	for _, pos := range d.positions {
+		kept := pos.queue[:0]
+		for _, o := range pos.queue {
+			if o.Time.Before(cutoff) {
+				n++
+			} else {
+				kept = append(kept, o)
+			}
+		}
+		pos.queue = kept
+		n += pos.det.expire(cutoff)
+	}
+	return n
+}
+
+// ---- negation (standalone) ----
+
+func (x Neg) build() detector { return &negDetector{det: x.Of.build()} }
+
+type negDetector struct {
+	det      detector
+	poisoned bool
+}
+
+func (d *negDetector) feed(in *event.Instance) []*event.Instance {
+	if len(d.det.feed(in)) > 0 {
+		d.poisoned = true
+	}
+	return nil
+}
+
+func (d *negDetector) flush(now time.Time) []*event.Instance {
+	if d.poisoned {
+		return nil
+	}
+	// Non-occurrence completes at the end of the interval; the
+	// instance carries no parts — its meaning is the silence itself.
+	return []*event.Instance{{Kind: event.KindComposite, Time: now}}
+}
+
+func (d *negDetector) reset() {
+	d.poisoned = false
+	d.det.reset()
+}
+
+func (d *negDetector) pending() int { return d.det.pending() }
+
+func (d *negDetector) expire(cutoff time.Time) int { return d.det.expire(cutoff) }
+
+// ---- closure ----
+
+func (x Closure) build() detector { return &closureDetector{det: x.Of.build()} }
+
+type closureDetector struct {
+	det  detector
+	seen []*event.Instance
+}
+
+func (d *closureDetector) feed(in *event.Instance) []*event.Instance {
+	d.seen = append(d.seen, d.det.feed(in)...)
+	return nil
+}
+
+func (d *closureDetector) flush(now time.Time) []*event.Instance {
+	d.seen = append(d.seen, d.det.flush(now)...)
+	if len(d.seen) == 0 {
+		return nil
+	}
+	out := compose(d.seen)
+	d.seen = nil
+	return []*event.Instance{out}
+}
+
+func (d *closureDetector) reset() {
+	d.seen = nil
+	d.det.reset()
+}
+
+func (d *closureDetector) pending() int { return len(d.seen) + d.det.pending() }
+
+func (d *closureDetector) expire(cutoff time.Time) int {
+	n := 0
+	kept := d.seen[:0]
+	for _, o := range d.seen {
+		if o.Time.Before(cutoff) {
+			n++
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	d.seen = kept
+	return n + d.det.expire(cutoff)
+}
+
+// ---- history ----
+
+func (x History) build() detector {
+	return &historyDetector{det: x.Of.build(), count: x.Count}
+}
+
+type historyDetector struct {
+	det   detector
+	count int
+	seen  []*event.Instance
+}
+
+func (d *historyDetector) feed(in *event.Instance) []*event.Instance {
+	var out []*event.Instance
+	for _, c := range d.det.feed(in) {
+		d.seen = append(d.seen, c)
+		if len(d.seen) >= d.count {
+			out = append(out, compose(d.seen))
+			d.seen = nil
+		}
+	}
+	return out
+}
+
+func (d *historyDetector) flush(time.Time) []*event.Instance { return nil }
+
+func (d *historyDetector) reset() {
+	d.seen = nil
+	d.det.reset()
+}
+
+func (d *historyDetector) pending() int { return len(d.seen) + d.det.pending() }
+
+func (d *historyDetector) expire(cutoff time.Time) int {
+	n := 0
+	kept := d.seen[:0]
+	for _, o := range d.seen {
+		if o.Time.Before(cutoff) {
+			n++
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	d.seen = kept
+	return n + d.det.expire(cutoff)
+}
+
+// setPolicy propagates the consumption policy through the graph.
+func setPolicy(d detector, p Policy) {
+	switch x := d.(type) {
+	case *seqDetector:
+		x.policy = p
+		for _, pos := range x.positions {
+			setPolicy(pos.det, p)
+		}
+		for _, g := range x.guards {
+			setPolicy(g.det, p)
+		}
+	case *conjDetector:
+		x.policy = p
+		for _, pos := range x.positions {
+			setPolicy(pos.det, p)
+		}
+	case *disjDetector:
+		for _, s := range x.subs {
+			setPolicy(s, p)
+		}
+	case *negDetector:
+		setPolicy(x.det, p)
+	case *closureDetector:
+		setPolicy(x.det, p)
+	case *historyDetector:
+		setPolicy(x.det, p)
+	}
+}

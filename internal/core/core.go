@@ -1,0 +1,74 @@
+// Package core assembles the REACH system: the object database, the
+// rule engine wired through the sentry dispatcher, and the query
+// processor — the integrated architecture of the paper, in which the
+// active capabilities are built into the OODBMS rather than layered
+// on top of it.
+package core
+
+import (
+	"repro/internal/clock"
+	"repro/internal/eca"
+	"repro/internal/oodb"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/txn"
+)
+
+// Options configure a System.
+type Options struct {
+	// Dir is the storage directory; empty means in-memory.
+	Dir string
+	// Clock is the time source (default: real time).
+	Clock clock.Clock
+	// DB tunes the object database.
+	DB oodb.Options
+	// Engine tunes the rule engine.
+	Engine eca.Options
+}
+
+// System is a running REACH instance.
+type System struct {
+	DB     *oodb.DB
+	Engine *eca.Engine
+	Query  *query.Processor
+}
+
+// Open assembles and returns a System.
+func Open(opts Options) (*System, error) {
+	dbOpts := opts.DB
+	if opts.Dir != "" {
+		dbOpts.Dir = opts.Dir
+	}
+	if opts.Clock != nil {
+		dbOpts.Clock = opts.Clock
+	}
+	db, err := oodb.Open(dbOpts)
+	if err != nil {
+		return nil, err
+	}
+	engine := eca.New(db, opts.Engine)
+	return &System{
+		DB:     db,
+		Engine: engine,
+		Query:  query.New(db, engine),
+	}, nil
+}
+
+// Begin starts a top-level transaction.
+func (s *System) Begin() *txn.Txn { return s.DB.Begin() }
+
+// RegisterClass registers a class descriptor in the data dictionary.
+func (s *System) RegisterClass(c *oodb.Class) error { return s.DB.Dictionary().Register(c) }
+
+// LoadRules parses and registers a REACH rule-language source.
+func (s *System) LoadRules(src string) (*rules.Loaded, error) {
+	return rules.Load(s.Engine, src)
+}
+
+// Close shuts the engine's background goroutines down and closes the
+// database.
+func (s *System) Close() error {
+	s.Engine.WaitDetached()
+	s.Engine.Close()
+	return s.DB.Close()
+}

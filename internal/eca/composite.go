@@ -1,0 +1,343 @@
+package eca
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/event"
+)
+
+// compositeMgr is a composite ECA-manager: it owns the composers for
+// one composite event declaration — one per live transaction for
+// transaction-scoped composites, one global instance for cross-
+// transaction composites — and, in the default asynchronous mode, a
+// goroutine that performs the composition off the critical path
+// (§6.3: "keep event composition simple and execute it in parallel").
+type compositeMgr struct {
+	engine *Engine
+	decl   *algebra.Composite
+	mgr    *Manager // manager of composite:Name, holding the rules
+
+	mu     sync.Mutex
+	global *algebra.Composer
+	perTxn map[uint64]*algebra.Composer
+
+	in     chan compMsg
+	closed chan struct{}
+
+	// hasImmediate caches whether any (unsafe-mode) immediate rule is
+	// attached; it forces synchronous acknowledgement — the stall the
+	// paper's design avoids.
+	hasImmediate bool
+}
+
+type compMsg struct {
+	in *event.Instance
+	// flushTxn > 0 ends the life-span of that transaction's composer.
+	flushTxn uint64
+	// discardTxn > 0 drops that transaction's composer without
+	// completing anything (abort).
+	discardTxn uint64
+	// ack, when non-nil, is closed after the message is processed.
+	ack chan struct{}
+}
+
+// DefineComposite registers a composite event declaration: a manager
+// for its completions is created and its primitive constituents are
+// subscribed so primitive ECA-managers propagate to it (Figure 2).
+func (e *Engine) DefineComposite(decl *algebra.Composite) error {
+	if err := decl.Validate(); err != nil {
+		return err
+	}
+	key := decl.Key()
+	e.mu.Lock()
+	if _, dup := e.composites[key]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("eca: composite %q already defined", decl.Name)
+	}
+	cm := &compositeMgr{
+		engine: e,
+		decl:   decl,
+		mgr:    e.managerLocked(key, event.KindComposite),
+		perTxn: make(map[uint64]*algebra.Composer),
+		closed: make(chan struct{}),
+	}
+	if decl.Scope == algebra.ScopeGlobal {
+		cp, err := algebra.NewComposer(decl)
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		cm.global = cp
+	}
+	e.composites[key] = cm
+	// Wire each constituent's manager to propagate to this composite.
+	for _, prim := range algebra.PrimitiveKeys(decl.Expr) {
+		pm := e.managerLocked(prim, kindOfKey(prim))
+		pm.mu.Lock()
+		pm.composers = append(pm.composers, cm)
+		pm.mu.Unlock()
+		if k := kindOfKey(prim); k == event.KindMethod || k == event.KindState {
+			e.disp.Subscribe(prim)
+		}
+	}
+	e.mu.Unlock()
+
+	if !e.opts.SyncComposition {
+		cm.in = make(chan compMsg, e.opts.ComposerBuffer)
+		go cm.loop()
+	}
+	return nil
+}
+
+// Composites reports the number of defined composite events.
+func (e *Engine) Composites() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.composites)
+}
+
+// refreshImmediateFlag recomputes whether unsafe immediate rules are
+// attached to the composite.
+func (cm *compositeMgr) refreshImmediateFlag() {
+	has := false
+	for _, r := range cm.mgr.Rules() {
+		if !r.Disabled && r.condMode() == Immediate {
+			has = true
+			break
+		}
+	}
+	cm.mu.Lock()
+	cm.hasImmediate = has
+	cm.mu.Unlock()
+}
+
+// propagate hands a primitive occurrence to every composite manager
+// containing it. In asynchronous mode this is a channel send; the
+// caller proceeds without waiting — unless a composite has an
+// (unsafe) immediate rule, in which case the caller must stall for
+// the acknowledgement, which is precisely the cost Table 1's "(N)"
+// refuses.
+func (e *Engine) propagate(m *Manager, in *event.Instance) {
+	m.mu.Lock()
+	composers := append([]*compositeMgr(nil), m.composers...)
+	m.mu.Unlock()
+	for _, cm := range composers {
+		cm.deliver(in)
+	}
+}
+
+func (cm *compositeMgr) deliver(in *event.Instance) {
+	if cm.in == nil { // synchronous composition
+		cm.process(compMsg{in: in})
+		return
+	}
+	cm.mu.Lock()
+	stall := cm.hasImmediate
+	cm.mu.Unlock()
+	if stall {
+		msg := compMsg{in: in, ack: make(chan struct{})}
+		select {
+		case cm.in <- msg:
+			<-msg.ack
+		case <-cm.closed:
+		}
+		return
+	}
+	select {
+	case cm.in <- compMsg{in: in}:
+	case <-cm.closed:
+	}
+}
+
+// loop is the asynchronous composer goroutine.
+func (cm *compositeMgr) loop() {
+	for {
+		select {
+		case msg := <-cm.in:
+			cm.process(msg)
+		case <-cm.closed:
+			return
+		}
+	}
+}
+
+// process runs one message against the composers and handles any
+// completed composite instances.
+func (cm *compositeMgr) process(msg compMsg) {
+	if msg.ack != nil {
+		defer close(msg.ack)
+	}
+	now := cm.engine.clk.Now()
+	switch {
+	case msg.in != nil:
+		var completions []*event.Instance
+		cm.mu.Lock()
+		if cm.decl.Scope == algebra.ScopeTransaction {
+			if msg.in.Txn != 0 {
+				cp := cm.perTxn[msg.in.Txn]
+				if cp == nil {
+					var err error
+					cp, err = algebra.NewComposer(cm.decl)
+					if err == nil {
+						cm.perTxn[msg.in.Txn] = cp
+					}
+				}
+				if cp != nil {
+					completions = cp.Feed(msg.in)
+				}
+			} else {
+				// A transaction-less occurrence (temporal) is visible
+				// to every live per-transaction composition.
+				for _, cp := range cm.perTxn {
+					completions = append(completions, cp.Feed(msg.in)...)
+				}
+			}
+		} else {
+			completions = cm.global.Feed(msg.in)
+		}
+		cm.mu.Unlock()
+		cm.engine.handleCompletions(cm, completions)
+
+	case msg.flushTxn != 0:
+		cm.mu.Lock()
+		cp := cm.perTxn[msg.flushTxn]
+		delete(cm.perTxn, msg.flushTxn)
+		cm.mu.Unlock()
+		if cp != nil {
+			completions := cp.Flush(now)
+			cm.engine.handleCompletions(cm, completions)
+		}
+
+	case msg.discardTxn != 0:
+		cm.mu.Lock()
+		cp := cm.perTxn[msg.discardTxn]
+		delete(cm.perTxn, msg.discardTxn)
+		cm.mu.Unlock()
+		if cp != nil {
+			cm.engine.stGCed.Add(uint64(cp.Pending()))
+			cp.Reset()
+		}
+	}
+}
+
+// flushTxn ends (or discards) the per-transaction composition for a
+// transaction, synchronously — the EOT barrier.
+func (cm *compositeMgr) flushTxn(id uint64, discard bool) {
+	msg := compMsg{ack: make(chan struct{})}
+	if discard {
+		msg.discardTxn = id
+	} else {
+		msg.flushTxn = id
+	}
+	if cm.in == nil {
+		cm.process(msg)
+		return
+	}
+	select {
+	case cm.in <- msg:
+		<-msg.ack
+	case <-cm.closed:
+	}
+}
+
+// handleCompletions routes detected composite occurrences: they are
+// recorded in the composite manager's history, fire its rules, and
+// propagate further into composites-of-composites.
+func (e *Engine) handleCompletions(cm *compositeMgr, completions []*event.Instance) {
+	for _, comp := range completions {
+		e.stComposite.Add(1)
+		if comp.Seq == 0 {
+			comp.Seq = e.seq.Add(1)
+		}
+		e.record(cm.mgr, comp)
+		trigger := e.trigger(comp)
+		// Errors from (unsafe) immediate composite rules have no
+		// transaction to veto here; they surface on the rule txn.
+		e.fireRules(cm.mgr, comp, trigger)
+		e.propagate(cm.mgr, comp)
+	}
+}
+
+// GCExpired garbage-collects semi-composed occurrences whose validity
+// interval has lapsed across all global composers, returning the
+// total dropped (§3.3, §6.3).
+func (e *Engine) GCExpired() int {
+	e.mu.RLock()
+	cms := make([]*compositeMgr, 0, len(e.composites))
+	for _, cm := range e.composites {
+		cms = append(cms, cm)
+	}
+	e.mu.RUnlock()
+	now := e.clk.Now()
+	total := 0
+	for _, cm := range cms {
+		cm.mu.Lock()
+		if cm.global != nil {
+			total += cm.global.Expire(now)
+		}
+		cm.mu.Unlock()
+	}
+	e.stGCed.Add(uint64(total))
+	return total
+}
+
+// SemiComposed reports the number of buffered semi-composed
+// occurrences across all composers (for the life-span experiments).
+func (e *Engine) SemiComposed() int {
+	e.mu.RLock()
+	cms := make([]*compositeMgr, 0, len(e.composites))
+	for _, cm := range e.composites {
+		cms = append(cms, cm)
+	}
+	e.mu.RUnlock()
+	total := 0
+	for _, cm := range cms {
+		cm.mu.Lock()
+		if cm.global != nil {
+			total += cm.global.Pending()
+		}
+		for _, cp := range cm.perTxn {
+			total += cp.Pending()
+		}
+		cm.mu.Unlock()
+	}
+	return total
+}
+
+// DrainComposers blocks until every asynchronous composer has
+// processed all events delivered so far.
+func (e *Engine) DrainComposers() {
+	e.mu.RLock()
+	cms := make([]*compositeMgr, 0, len(e.composites))
+	for _, cm := range e.composites {
+		cms = append(cms, cm)
+	}
+	e.mu.RUnlock()
+	for _, cm := range cms {
+		if cm.in == nil {
+			continue
+		}
+		msg := compMsg{ack: make(chan struct{})}
+		select {
+		case cm.in <- msg:
+			<-msg.ack
+		case <-cm.closed:
+		}
+	}
+}
+
+// Close shuts down the engine's background goroutines. The engine
+// must not be used afterwards.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	e.detachedWG.Wait()
+	e.mu.Lock()
+	for _, cm := range e.composites {
+		close(cm.closed)
+	}
+	e.mu.Unlock()
+}

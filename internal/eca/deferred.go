@@ -1,0 +1,216 @@
+package eca
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/txn"
+)
+
+// deferredKey keys the per-top-transaction deferred queue.
+type deferredKey struct{}
+
+type deferredQueue struct {
+	mu      sync.Mutex
+	entries []deferredEntry
+}
+
+type deferredEntry struct {
+	rule       *Rule
+	in         *event.Instance
+	actionOnly bool // condition already evaluated (imm/def split)
+}
+
+func (e *Engine) deferredQueue(top *txn.Txn) *deferredQueue {
+	if q, ok := top.Value(deferredKey{}).(*deferredQueue); ok {
+		return q
+	}
+	q := &deferredQueue{}
+	top.SetValue(deferredKey{}, q)
+	return q
+}
+
+// enqueueDeferred queues a whole rule for execution at the top-level
+// transaction's EOT.
+func (e *Engine) enqueueDeferred(top *txn.Txn, r *Rule, in *event.Instance) {
+	q := e.deferredQueue(top)
+	q.mu.Lock()
+	q.entries = append(q.entries, deferredEntry{rule: r, in: in})
+	q.mu.Unlock()
+}
+
+// enqueueDeferredAction queues only the action part (the condition was
+// evaluated immediately and held).
+func (e *Engine) enqueueDeferredAction(top *txn.Txn, r *Rule, in *event.Instance) {
+	q := e.deferredQueue(top)
+	q.mu.Lock()
+	q.entries = append(q.entries, deferredEntry{rule: r, in: in, actionOnly: true})
+	q.mu.Unlock()
+}
+
+// runDeferred drains the top-level transaction's deferred queue at
+// EOT. Rules run as subtransactions in priority order; when the
+// SimpleBeforeComplex policy is on, rules triggered by simple events
+// fire ahead of rules triggered by composite events (§6.4). Rules may
+// enqueue further deferred work; rounds are bounded.
+func (e *Engine) runDeferred(top *txn.Txn) error {
+	q, ok := top.Value(deferredKey{}).(*deferredQueue)
+	if !ok {
+		return nil
+	}
+	for round := 0; ; round++ {
+		if round >= e.opts.MaxDeferredRounds {
+			return fmt.Errorf("eca: deferred rule cascade exceeded %d rounds in txn %d",
+				e.opts.MaxDeferredRounds, top.ID())
+		}
+		q.mu.Lock()
+		batch := q.entries
+		q.entries = nil
+		q.mu.Unlock()
+		if len(batch) == 0 {
+			return nil
+		}
+		e.stRounds.Add(1)
+		e.orderDeferred(batch)
+		if err := e.runDeferredBatch(top, batch); err != nil {
+			return err
+		}
+	}
+}
+
+func (e *Engine) orderDeferred(batch []deferredEntry) {
+	tb := e.opts.TieBreak
+	sbc := e.opts.SimpleBeforeComplex
+	sort.SliceStable(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if sbc {
+			as := a.in.Kind != event.KindComposite
+			bs := b.in.Kind != event.KindComposite
+			if as != bs {
+				return as
+			}
+		}
+		return ruleLess(a.rule, b.rule, tb)
+	})
+}
+
+func (e *Engine) runDeferredBatch(top *txn.Txn, batch []deferredEntry) error {
+	run := func(entry deferredEntry) error {
+		child, err := top.BeginChild()
+		if err != nil {
+			return fmt.Errorf("eca: deferred rule %s: %w", entry.rule.Name, err)
+		}
+		e.stDeferred.Add(1)
+		if entry.actionOnly {
+			rc := &RuleCtx{Engine: e, DB: e.db, Txn: child, Trigger: entry.in}
+			if err := entry.rule.Action(rc); err != nil {
+				child.AbortWith(err)
+				return fmt.Errorf("eca: deferred rule %s action: %w", entry.rule.Name, err)
+			}
+			return child.Commit()
+		}
+		return e.runRuleIn(child, entry.rule, entry.in)
+	}
+	if e.opts.Exec == ParallelExec && len(batch) > 1 {
+		errs := make([]error, len(batch))
+		var wg sync.WaitGroup
+		for i, entry := range batch {
+			wg.Add(1)
+			go func(i int, entry deferredEntry) {
+				defer wg.Done()
+				errs[i] = run(entry)
+			}(i, entry)
+		}
+		wg.Wait()
+		return errors.Join(errs...)
+	}
+	for _, entry := range batch {
+		if err := run(entry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spawnDetached launches a rule in its own top-level transaction under
+// one of the four detached modes, enforcing the commit/abort
+// dependencies against every transaction the triggering event
+// originated from (Table 1: "all commit" / "all abort").
+//
+// Parallel- and exclusive-causal rules "may begin in parallel" (§3.2):
+// their transaction is created and its dependency edges registered
+// synchronously at firing time, so the dependency holds no matter how
+// the scheduler interleaves the trigger's resolution; only the rule
+// body runs asynchronously. Sequential-causal rules may not even
+// initiate until the trigger commits, so everything is asynchronous.
+func (e *Engine) spawnDetached(r *Rule, in *event.Instance) {
+	mode := r.condMode()
+	txns := in.Transactions()
+	ids := make([]uint64, 0, len(txns))
+	for id := range txns {
+		ids = append(ids, id)
+	}
+	e.stDetached.Add(1)
+
+	var t *txn.Txn
+	var abortErr error
+	switch mode {
+	case DetachedParallelCausal:
+		t = e.beginRuleTxn()
+		for _, id := range ids {
+			live, st, known := e.txnOutcome(id)
+			switch {
+			case live != nil:
+				t.RequireCommit(live)
+			case known && st == txn.Aborted:
+				abortErr = fmt.Errorf("eca: rule %s: trigger txn %d aborted", r.Name, id)
+			}
+		}
+	case DetachedExclusiveCausal:
+		t = e.beginRuleTxn()
+		for _, id := range ids {
+			live, st, known := e.txnOutcome(id)
+			switch {
+			case live != nil:
+				t.RequireAbort(live)
+			case known && st == txn.Committed:
+				abortErr = fmt.Errorf("eca: rule %s: trigger txn %d committed", r.Name, id)
+			}
+		}
+	case Detached:
+		t = e.beginRuleTxn()
+	}
+
+	e.detachedWG.Add(1)
+	go func() {
+		defer e.detachedWG.Done()
+		if abortErr != nil {
+			t.AbortWith(abortErr)
+			return
+		}
+		if mode == DetachedSequentialCausal {
+			for _, id := range ids {
+				live, st, known := e.txnOutcome(id)
+				if live != nil {
+					st = live.Wait()
+				} else if !known {
+					st = txn.Committed // evicted long ago; assume committed
+				}
+				if st != txn.Committed {
+					return
+				}
+			}
+			t = e.beginRuleTxn()
+		}
+		// Errors are recorded on the rule transaction; a detached rule
+		// failure never affects the triggering transaction.
+		e.runRuleIn(t, r, in)
+	}()
+}
+
+// WaitDetached blocks until every spawned detached rule execution has
+// finished. Tests and the bench harness use it as a barrier.
+func (e *Engine) WaitDetached() { e.detachedWG.Wait() }

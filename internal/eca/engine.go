@@ -1,0 +1,540 @@
+package eca
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/algebra"
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/oodb"
+	"repro/internal/sentry"
+	"repro/internal/txn"
+)
+
+// ExecStrategy selects how multiple rules fired together execute
+// (§6.4): as an ordered ring-sequence or as parallel sibling
+// subtransactions.
+type ExecStrategy int
+
+// Execution strategies.
+const (
+	// SequentialExec maps the rule set to an ordered firing sequence.
+	SequentialExec ExecStrategy = iota
+	// ParallelExec runs the rules as sibling subtransactions on
+	// parallel goroutines.
+	ParallelExec
+)
+
+// HistoryMode selects where event histories are kept (§6.3).
+type HistoryMode int
+
+// History modes.
+const (
+	// DistributedHistory keeps a local history per ECA-manager; a
+	// background process consolidates the global history after the
+	// transaction ends. This is the REACH design.
+	DistributedHistory HistoryMode = iota
+	// CentralHistory logs every occurrence into one global history at
+	// detection time — the bottleneck the paper avoids; kept for the
+	// comparison experiment.
+	CentralHistory
+)
+
+// Options configure an Engine.
+type Options struct {
+	// SyncComposition feeds composers inline in the detecting call
+	// instead of asynchronously on per-composite goroutines. The
+	// default (false) is the paper's asynchronous design.
+	SyncComposition bool
+	// Exec selects sequential or parallel rule firing.
+	Exec ExecStrategy
+	// TieBreak orders equal-priority rules.
+	TieBreak TieBreak
+	// SimpleBeforeComplex additionally orders the deferred queue so
+	// rules triggered by simple events fire before rules triggered by
+	// composite events (the third deferred-ordering policy of §6.4).
+	SimpleBeforeComplex bool
+	// History selects distributed or central event histories.
+	History HistoryMode
+	// LocalHistorySize bounds each manager's local history ring
+	// (default 256).
+	LocalHistorySize int
+	// GlobalHistorySize bounds the consolidated history (default 4096).
+	GlobalHistorySize int
+	// MaxDeferredRounds bounds cascading deferred rule execution at
+	// EOT (default 32).
+	MaxDeferredRounds int
+	// ComposerBuffer is the channel capacity of asynchronous
+	// composers (default 1024).
+	ComposerBuffer int
+	// AllowUnsafeImmediateComposite admits the combination Table 1
+	// rejects — immediate rules on single-transaction composite events
+	// — by stalling every primitive event until the composers have
+	// acknowledged that no immediately-coupled composite completed.
+	// It exists so the cost the paper refuses to pay can be measured.
+	AllowUnsafeImmediateComposite bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.LocalHistorySize == 0 {
+		o.LocalHistorySize = 256
+	}
+	if o.GlobalHistorySize == 0 {
+		o.GlobalHistorySize = 4096
+	}
+	if o.MaxDeferredRounds == 0 {
+		o.MaxDeferredRounds = 32
+	}
+	if o.ComposerBuffer == 0 {
+		o.ComposerBuffer = 1024
+	}
+	return o
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	Events             uint64
+	ImmediateFired     uint64
+	DeferredFired      uint64
+	DetachedFired      uint64
+	CompositesDetected uint64
+	SemiComposedGCed   uint64
+	DeferredRounds     uint64
+}
+
+// Engine is the REACH rule engine: a registry of ECA managers wired
+// into the sentry dispatcher and the transaction manager.
+type Engine struct {
+	db   *oodb.DB
+	disp *sentry.Dispatcher
+	clk  clock.Clock
+	opts Options
+
+	mu         sync.RWMutex
+	managers   map[string]*Manager
+	composites map[string]*compositeMgr
+	ruleSeq    uint64
+
+	seq atomic.Uint64
+
+	txnMu         sync.Mutex
+	activeTxns    map[uint64]*txn.Txn
+	resolvedTxns  map[uint64]txn.Status
+	resolvedOrder []uint64
+
+	hist *globalHistory
+
+	detachedWG sync.WaitGroup
+	closed     atomic.Bool
+
+	stEvents    atomic.Uint64
+	stImmediate atomic.Uint64
+	stDeferred  atomic.Uint64
+	stDetached  atomic.Uint64
+	stComposite atomic.Uint64
+	stGCed      atomic.Uint64
+	stRounds    atomic.Uint64
+}
+
+// New creates an engine over db, wires it as the database's event
+// sink (through a sentry dispatcher) and as the transaction
+// listener, and returns it.
+func New(db *oodb.DB, opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		db:           db,
+		clk:          db.Clock(),
+		opts:         opts,
+		managers:     make(map[string]*Manager),
+		composites:   make(map[string]*compositeMgr),
+		activeTxns:   make(map[uint64]*txn.Txn),
+		resolvedTxns: make(map[uint64]txn.Status),
+		hist:         newGlobalHistory(opts.GlobalHistorySize),
+	}
+	e.disp = sentry.New(sentry.ConsumerFunc(e.Consume))
+	db.SetSink(e.disp)
+	db.TxnManager().SetListener((*txnListener)(e))
+	return e
+}
+
+// Dispatcher exposes the sentry dispatcher (for overhead stats and
+// enable/disable).
+func (e *Engine) Dispatcher() *sentry.Dispatcher { return e.disp }
+
+// DB returns the underlying database.
+func (e *Engine) DB() *oodb.DB { return e.db }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Events:             e.stEvents.Load(),
+		ImmediateFired:     e.stImmediate.Load(),
+		DeferredFired:      e.stDeferred.Load(),
+		DetachedFired:      e.stDetached.Load(),
+		CompositesDetected: e.stComposite.Load(),
+		SemiComposedGCed:   e.stGCed.Load(),
+		DeferredRounds:     e.stRounds.Load(),
+	}
+}
+
+// Manager is an ECA-manager: it is dedicated to one event type, knows
+// the set of rules fired by the event and the composite events the
+// event participates in, and keeps a local history of occurrences
+// (§6.3, Figure 2).
+type Manager struct {
+	key  string
+	kind event.Kind
+
+	mu        sync.Mutex
+	rules     []*Rule
+	composers []*compositeMgr
+	local     *historyRing
+}
+
+// Key returns the spec key the manager is dedicated to.
+func (m *Manager) Key() string { return m.key }
+
+// Rules returns the manager's rules in firing order.
+func (m *Manager) Rules() []*Rule {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Rule(nil), m.rules...)
+}
+
+// LocalHistory returns the manager's local event history, oldest
+// first.
+func (m *Manager) LocalHistory() []HistoryEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.local.entries()
+}
+
+// managerLocked returns (creating if needed) the ECA-manager for a
+// key; the caller holds e.mu.
+func (e *Engine) managerLocked(key string, kind event.Kind) *Manager {
+	if m, ok := e.managers[key]; ok {
+		return m
+	}
+	m := &Manager{key: key, kind: kind, local: newHistoryRing(e.opts.LocalHistorySize)}
+	e.managers[key] = m
+	return m
+}
+
+// lookupManager returns the manager for key, or nil.
+func (e *Engine) lookupManager(key string) *Manager {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.managers[key]
+}
+
+// Managers reports the number of registered ECA-managers.
+func (e *Engine) Managers() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.managers)
+}
+
+// kindOfKey derives the event kind from a spec key prefix.
+func kindOfKey(key string) event.Kind {
+	switch {
+	case len(key) >= 7 && key[:7] == "method:":
+		return event.KindMethod
+	case len(key) >= 6 && key[:6] == "state:":
+		return event.KindState
+	case len(key) >= 4 && key[:4] == "txn:":
+		return event.KindTxn
+	case len(key) >= 5 && key[:5] == "time:":
+		return event.KindTemporal
+	case len(key) >= 10 && key[:10] == "composite:":
+		return event.KindComposite
+	}
+	return event.KindMethod
+}
+
+// categoryOf resolves the admission category of a spec key, consulting
+// the composite registry for scope.
+func (e *Engine) categoryOf(key string) (Category, error) {
+	kind := kindOfKey(key)
+	if kind != event.KindComposite {
+		return CategoryOfKey(kind, false), nil
+	}
+	e.mu.RLock()
+	cm := e.composites[key]
+	e.mu.RUnlock()
+	if cm == nil {
+		return 0, fmt.Errorf("eca: composite event %q not defined", key)
+	}
+	return CategoryOfKey(kind, cm.decl.Scope == algebra.ScopeGlobal), nil
+}
+
+// AddRule registers a rule after validating it against Table 1.
+func (e *Engine) AddRule(r *Rule) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	cat, err := e.categoryOf(r.EventKey)
+	if err != nil {
+		return err
+	}
+	for _, mode := range []Coupling{r.condMode(), r.ActionMode} {
+		if Supported(cat, mode) {
+			continue
+		}
+		if mode == Immediate && cat == CompositeSingleTxn && e.opts.AllowUnsafeImmediateComposite {
+			continue // measured, not endorsed (E5)
+		}
+		return fmt.Errorf("eca: rule %s: coupling %v not supported for %v events (Table 1)",
+			r.Name, mode, cat)
+	}
+	e.mu.Lock()
+	e.ruleSeq++
+	r.regSeq = e.ruleSeq
+	r.regTime = e.clk.Now()
+	m := e.managerLocked(r.EventKey, kindOfKey(r.EventKey))
+	e.mu.Unlock()
+
+	m.mu.Lock()
+	m.rules = append(m.rules, r)
+	tb := e.opts.TieBreak
+	sort.SliceStable(m.rules, func(i, j int) bool { return ruleLess(m.rules[i], m.rules[j], tb) })
+	m.mu.Unlock()
+
+	// Subscribe the sentry so the database starts delivering.
+	if k := kindOfKey(r.EventKey); k == event.KindMethod || k == event.KindState {
+		e.disp.Subscribe(r.EventKey)
+	} else if k == event.KindComposite {
+		e.mu.RLock()
+		cm := e.composites[r.EventKey]
+		e.mu.RUnlock()
+		if cm != nil {
+			cm.refreshImmediateFlag()
+		}
+	}
+	return nil
+}
+
+// RemoveRule unregisters a rule by name from its event's manager.
+func (e *Engine) RemoveRule(eventKey, name string) bool {
+	m := e.lookupManager(eventKey)
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range m.rules {
+		if r.Name == name {
+			m.rules = append(m.rules[:i], m.rules[i+1:]...)
+			switch kindOfKey(eventKey) {
+			case event.KindMethod, event.KindState:
+				e.disp.Unsubscribe(eventKey)
+			case event.KindComposite:
+				e.mu.RLock()
+				cm := e.composites[eventKey]
+				e.mu.RUnlock()
+				if cm != nil {
+					m.mu.Unlock()
+					cm.refreshImmediateFlag()
+					m.mu.Lock()
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// trigger resolves the live transaction an instance was raised in.
+func (e *Engine) trigger(in *event.Instance) *txn.Txn {
+	if t, ok := in.Origin.(*txn.Txn); ok {
+		return t
+	}
+	if in.Txn == 0 {
+		return nil
+	}
+	e.txnMu.Lock()
+	defer e.txnMu.Unlock()
+	return e.activeTxns[in.Txn]
+}
+
+// txnOutcome reports the state of a transaction by id: a live handle
+// when it is still active, or its resolved status.
+func (e *Engine) txnOutcome(id uint64) (live *txn.Txn, st txn.Status, known bool) {
+	e.txnMu.Lock()
+	defer e.txnMu.Unlock()
+	if t, ok := e.activeTxns[id]; ok {
+		return t, txn.Active, true
+	}
+	s, ok := e.resolvedTxns[id]
+	return nil, s, ok
+}
+
+// Consume is the entry point from the sentry dispatcher: one primitive
+// event instance arrives, rules fire per coupling mode, and the event
+// is propagated to the composite ECA-managers (Figure 2). The return
+// value is the go-ahead signal: an error from an immediate rule vetoes
+// the operation.
+func (e *Engine) Consume(in *event.Instance) error {
+	e.stEvents.Add(1)
+	if in.Seq == 0 {
+		in.Seq = e.seq.Add(1)
+	}
+	if in.Time.IsZero() {
+		in.Time = e.clk.Now()
+	}
+	m := e.lookupManager(in.SpecKey)
+	if m == nil {
+		return nil
+	}
+	e.record(m, in)
+	trigger := e.trigger(in)
+	err := e.fireRules(m, in, trigger)
+	e.propagate(m, in)
+	return err
+}
+
+// record appends the occurrence to the appropriate history (§6.3).
+func (e *Engine) record(m *Manager, in *event.Instance) {
+	entry := HistoryEntry{Seq: in.Seq, Txn: in.Txn, Key: in.SpecKey, Time: in.Time}
+	if e.opts.History == CentralHistory {
+		e.hist.append(entry)
+		return
+	}
+	m.mu.Lock()
+	m.local.append(entry)
+	m.mu.Unlock()
+}
+
+// fireRules runs the manager's rules for one occurrence, routing each
+// to its coupling mode. Immediate rules run inline (the caller is
+// stalled — this is exactly why composite events may not couple
+// immediately); deferred rules are queued on the triggering top-level
+// transaction; detached rules spawn.
+func (e *Engine) fireRules(m *Manager, in *event.Instance, trigger *txn.Txn) error {
+	m.mu.Lock()
+	rules := append([]*Rule(nil), m.rules...)
+	m.mu.Unlock()
+	if len(rules) == 0 {
+		return nil
+	}
+	var immediate []*Rule
+	for _, r := range rules {
+		if r.Disabled {
+			continue
+		}
+		switch r.condMode() {
+		case Immediate:
+			immediate = append(immediate, r)
+		case Deferred:
+			if trigger == nil {
+				return fmt.Errorf("eca: rule %s: deferred coupling but no active transaction", r.Name)
+			}
+			e.enqueueDeferred(trigger.Top(), r, in)
+		default:
+			e.spawnDetached(r, in)
+		}
+	}
+	if len(immediate) == 0 {
+		return nil
+	}
+	e.stImmediate.Add(uint64(len(immediate)))
+	return e.runRuleSet(immediate, in, trigger)
+}
+
+// runRuleSet executes rules triggered by the same event, sequentially
+// or as parallel sibling subtransactions (§6.4).
+func (e *Engine) runRuleSet(rules []*Rule, in *event.Instance, trigger *txn.Txn) error {
+	if e.opts.Exec == ParallelExec && len(rules) > 1 && trigger != nil {
+		// Even conceptually-parallel rules need a lower-level ordering
+		// for child creation (§6.4); they are started in firing order.
+		errs := make([]error, len(rules))
+		var wg sync.WaitGroup
+		for i, r := range rules {
+			child, err := trigger.BeginChild()
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			wg.Add(1)
+			go func(i int, r *Rule, child *txn.Txn) {
+				defer wg.Done()
+				errs[i] = e.runRuleIn(child, r, in)
+			}(i, r, child)
+		}
+		wg.Wait()
+		return errors.Join(errs...)
+	}
+	for _, r := range rules {
+		if err := e.runRuleAsChild(trigger, r, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRuleAsChild runs one rule as a subtransaction of trigger; with a
+// nil trigger (e.g. rules on commit/abort events) it runs in a fresh
+// top-level transaction.
+func (e *Engine) runRuleAsChild(trigger *txn.Txn, r *Rule, in *event.Instance) error {
+	var t *txn.Txn
+	var err error
+	if trigger != nil {
+		t, err = trigger.BeginChild()
+		if err != nil {
+			return fmt.Errorf("eca: rule %s: %w", r.Name, err)
+		}
+	} else {
+		t = e.beginRuleTxn()
+	}
+	return e.runRuleIn(t, r, in)
+}
+
+// ruleTxnKey tags transactions the engine itself creates to execute
+// rules. They are full transactions, but they do not raise
+// flow-control events — otherwise a rule on txn:commit would re-fire
+// on its own rule transaction's commit, forever.
+type ruleTxnKey struct{}
+
+// beginRuleTxn starts a top-level transaction for detached rule
+// execution.
+func (e *Engine) beginRuleTxn() *txn.Txn {
+	return e.db.TxnManager().BeginTagged(ruleTxnKey{}, true)
+}
+
+// isRuleTxn reports whether t was created by the engine.
+func isRuleTxn(t *txn.Txn) bool { return t.Value(ruleTxnKey{}) != nil }
+
+// runRuleIn evaluates the rule's condition and action inside t and
+// commits or aborts it.
+func (e *Engine) runRuleIn(t *txn.Txn, r *Rule, in *event.Instance) error {
+	rc := &RuleCtx{Engine: e, DB: e.db, Txn: t, Trigger: in}
+	ok := true
+	var err error
+	if r.Cond != nil {
+		ok, err = r.Cond(rc)
+		if err != nil {
+			t.AbortWith(err)
+			return fmt.Errorf("eca: rule %s condition: %w", r.Name, err)
+		}
+	}
+	if !ok {
+		return t.Commit() // condition false: nothing to do
+	}
+	if r.condMode() == Immediate && r.ActionMode == Deferred {
+		// E-C immediate, C-A deferred: the action is queued for EOT.
+		top := t.Top()
+		if err := t.Commit(); err != nil {
+			return err
+		}
+		e.enqueueDeferredAction(top, r, in)
+		return nil
+	}
+	if err := r.Action(rc); err != nil {
+		t.AbortWith(err)
+		return fmt.Errorf("eca: rule %s action: %w", r.Name, err)
+	}
+	return t.Commit()
+}

@@ -1,0 +1,117 @@
+package eca
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// HistoryEntry is one recorded event occurrence.
+type HistoryEntry struct {
+	Seq  uint64
+	Txn  uint64
+	Key  string
+	Time time.Time
+}
+
+// historyRing is a fixed-capacity ring buffer of occurrences — the
+// local history each ECA-manager keeps so that logging does not
+// funnel through a central bottleneck (§6.3).
+type historyRing struct {
+	buf   []HistoryEntry
+	start int
+	n     int
+}
+
+func newHistoryRing(capacity int) *historyRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &historyRing{buf: make([]HistoryEntry, capacity)}
+}
+
+func (r *historyRing) append(e HistoryEntry) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *historyRing) entries() []HistoryEntry {
+	out := make([]HistoryEntry, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// forTxn returns the ring's entries belonging to one transaction.
+func (r *historyRing) forTxn(id uint64) []HistoryEntry {
+	var out []HistoryEntry
+	for i := 0; i < r.n; i++ {
+		e := r.buf[(r.start+i)%len(r.buf)]
+		if e.Txn == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// globalHistory is the consolidated history. In the REACH design it is
+// maintained by a background process after a transaction has committed
+// or aborted; in the central mode every occurrence is logged here
+// synchronously (the bottleneck of §6.3).
+type globalHistory struct {
+	mu   sync.Mutex
+	ring *historyRing
+}
+
+func newGlobalHistory(capacity int) *globalHistory {
+	return &globalHistory{ring: newHistoryRing(capacity)}
+}
+
+func (g *globalHistory) append(e HistoryEntry) {
+	g.mu.Lock()
+	g.ring.append(e)
+	g.mu.Unlock()
+}
+
+func (g *globalHistory) entries() []HistoryEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ring.entries()
+}
+
+// GlobalHistory returns the consolidated event history, oldest first.
+func (e *Engine) GlobalHistory() []HistoryEntry {
+	return e.hist.entries()
+}
+
+// consolidateHistory moves a finished transaction's occurrences from
+// the managers' local histories into the global history, in occurrence
+// order. In distributed mode this runs after the transaction ends —
+// off the detection fast path.
+func (e *Engine) consolidateHistory(txnID uint64) {
+	if e.opts.History == CentralHistory {
+		return // already centralized at detection time
+	}
+	e.mu.RLock()
+	managers := make([]*Manager, 0, len(e.managers))
+	for _, m := range e.managers {
+		managers = append(managers, m)
+	}
+	e.mu.RUnlock()
+	var entries []HistoryEntry
+	for _, m := range managers {
+		m.mu.Lock()
+		entries = append(entries, m.local.forTxn(txnID)...)
+		m.mu.Unlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
+	for _, en := range entries {
+		e.hist.append(en)
+	}
+}

@@ -1,0 +1,104 @@
+package eca
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+)
+
+// eventKindComposite avoids importing event in every call site below.
+const eventKindComposite = event.KindComposite
+
+// RuleInfo describes a registered rule for management interfaces
+// (the paper's planned GUI for rule definition and management, §7).
+type RuleInfo struct {
+	Name       string
+	EventKey   string
+	Priority   int
+	CondMode   Coupling
+	ActionMode Coupling
+	Disabled   bool
+	Defined    time.Time
+}
+
+// ListRules returns every registered rule, grouped by event key and
+// ordered by firing order within each group.
+func (e *Engine) ListRules() []RuleInfo {
+	e.mu.RLock()
+	managers := make([]*Manager, 0, len(e.managers))
+	for _, m := range e.managers {
+		managers = append(managers, m)
+	}
+	e.mu.RUnlock()
+	sort.Slice(managers, func(i, j int) bool { return managers[i].key < managers[j].key })
+	var out []RuleInfo
+	for _, m := range managers {
+		for _, r := range m.Rules() {
+			out = append(out, RuleInfo{
+				Name:       r.Name,
+				EventKey:   r.EventKey,
+				Priority:   r.Priority,
+				CondMode:   r.condMode(),
+				ActionMode: r.ActionMode,
+				Disabled:   r.Disabled,
+				Defined:    r.regTime,
+			})
+		}
+	}
+	return out
+}
+
+// SetRuleEnabled enables or disables a rule at run time without
+// unregistering it. It reports whether the rule was found.
+func (e *Engine) SetRuleEnabled(eventKey, name string, enabled bool) bool {
+	m := e.lookupManager(eventKey)
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	found := false
+	for _, r := range m.rules {
+		if r.Name == name {
+			r.Disabled = !enabled
+			found = true
+		}
+	}
+	m.mu.Unlock()
+	if found && kindOfKey(eventKey) == eventKindComposite {
+		e.mu.RLock()
+		cm := e.composites[eventKey]
+		e.mu.RUnlock()
+		if cm != nil {
+			cm.refreshImmediateFlag()
+		}
+	}
+	return found
+}
+
+// StartGC arms a background garbage collector that expires
+// semi-composed occurrences whose validity interval lapsed, every
+// interval — the "background process" discipline of §6.3. Stop the
+// returned timer chain with the handle.
+func (e *Engine) StartGC(interval time.Duration) *TemporalHandle {
+	h := &TemporalHandle{}
+	var rearm func()
+	rearm = func() {
+		if e.closed.Load() {
+			return
+		}
+		e.GCExpired()
+		h.mu.Lock()
+		stopped := h.stopped
+		h.mu.Unlock()
+		if !stopped {
+			h.setTimer(e.clk.AfterFunc(interval, rearm))
+		}
+	}
+	h.setTimer(e.clk.AfterFunc(interval, rearm))
+	return h
+}
+
+// Clock exposes the engine's time source.
+func (e *Engine) Clock() clock.Clock { return e.clk }

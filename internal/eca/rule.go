@@ -1,0 +1,138 @@
+package eca
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/oodb"
+	"repro/internal/txn"
+)
+
+// RuleCtx is passed to rule conditions and actions. Txn is the
+// transaction the rule part runs in (a subtransaction of the trigger
+// for immediate/deferred coupling, an independent top-level
+// transaction for the detached modes). Trigger is the event instance
+// that fired the rule; for composite events its Parts carry the
+// constituents and their parameters.
+type RuleCtx struct {
+	Engine  *Engine
+	DB      *oodb.DB
+	Txn     *txn.Txn
+	Trigger *event.Instance
+}
+
+// Ctx returns an object-invocation context bound to the rule's
+// transaction.
+func (rc *RuleCtx) Ctx() *oodb.Ctx { return &oodb.Ctx{DB: rc.DB, Txn: rc.Txn} }
+
+// CondFunc evaluates a rule condition.
+type CondFunc func(rc *RuleCtx) (bool, error)
+
+// ActionFunc executes a rule action.
+type ActionFunc func(rc *RuleCtx) error
+
+// Rule is an ECA rule. The separation of the triggering event from
+// condition and action, each with its own coupling, follows HiPAC and
+// the REACH rule system (§2, §3.2). Rules are mapped onto a rule
+// object whose evalCond/execAction call the registered functions —
+// the Go analogue of the shared-library C functions of §6.1.
+type Rule struct {
+	Name string
+	// EventKey is the spec key of the triggering event (primitive or
+	// composite:Name).
+	EventKey string
+	// Priority orders rules fired by the same event; higher fires
+	// first.
+	Priority int
+	// CondMode couples condition evaluation to the trigger. Zero
+	// defaults to ActionMode.
+	CondMode Coupling
+	// ActionMode couples action execution; it may not be "earlier"
+	// than CondMode.
+	ActionMode Coupling
+	// Cond is the condition; nil means always true.
+	Cond CondFunc
+	// Action is the action; required.
+	Action ActionFunc
+	// Disabled rules stay registered but never fire.
+	Disabled bool
+
+	// registration metadata, for tie-breaking (§6.4).
+	regSeq  uint64
+	regTime time.Time
+}
+
+// String implements fmt.Stringer.
+func (r *Rule) String() string {
+	return fmt.Sprintf("rule %s on %s prio %d [%v/%v]",
+		r.Name, r.EventKey, r.Priority, r.condMode(), r.ActionMode)
+}
+
+func (r *Rule) condMode() Coupling {
+	if r.CondMode == 0 {
+		return r.ActionMode
+	}
+	return r.CondMode
+}
+
+// couplingOrder ranks modes by how early they run, for the CondMode ≤
+// ActionMode validation.
+func couplingOrder(c Coupling) int {
+	switch c {
+	case Immediate:
+		return 0
+	case Deferred:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// validate checks internal consistency (admission against Table 1 is
+// done by the engine, which knows the event's category).
+func (r *Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("eca: rule needs a name")
+	}
+	if r.EventKey == "" {
+		return fmt.Errorf("eca: rule %s needs a triggering event", r.Name)
+	}
+	if r.Action == nil {
+		return fmt.Errorf("eca: rule %s needs an action", r.Name)
+	}
+	if r.ActionMode == 0 {
+		return fmt.Errorf("eca: rule %s needs an action coupling mode", r.Name)
+	}
+	if couplingOrder(r.condMode()) > couplingOrder(r.ActionMode) {
+		return fmt.Errorf("eca: rule %s: condition mode %v later than action mode %v",
+			r.Name, r.condMode(), r.ActionMode)
+	}
+	if r.condMode().Detachedness() != r.ActionMode.Detachedness() &&
+		couplingOrder(r.condMode()) >= 2 {
+		return fmt.Errorf("eca: rule %s: detached condition with non-detached action", r.Name)
+	}
+	return nil
+}
+
+// TieBreak selects the ordering of equal-priority rules (§6.4).
+type TieBreak int
+
+// Tie-break policies.
+const (
+	// OldestFirst fires the rule defined earliest first (default).
+	OldestFirst TieBreak = iota
+	// NewestFirst fires the rule defined latest first.
+	NewestFirst
+)
+
+// ruleLess orders rules: priority descending, then the tie-break.
+func ruleLess(a, b *Rule, tb TieBreak) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if tb == NewestFirst {
+		return a.regSeq > b.regSeq
+	}
+	return a.regSeq < b.regSeq
+}

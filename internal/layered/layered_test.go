@@ -1,0 +1,214 @@
+package layered
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/oodb"
+)
+
+func newLayer(t *testing.T) (*Layer, *ClosedOODB) {
+	t.Helper()
+	closed, err := NewClosed(oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor := oodb.NewClass("Sensor",
+		oodb.Attr{Name: "val", Type: oodb.TInt},
+		oodb.Attr{Name: "alarms", Type: oodb.TInt},
+	)
+	sensor.Method("ping", func(ctx *oodb.Ctx, self *oodb.Object, args []any) (any, error) {
+		return nil, ctx.Set(self, "val", args[0])
+	})
+	if err := closed.Dictionary().Register(sensor); err != nil {
+		t.Fatal(err)
+	}
+	return NewLayer(closed), closed
+}
+
+func pingAfter() string {
+	return event.MethodSpec{Class: "Sensor", Method: "ping", When: event.After}.Key()
+}
+
+func TestWrapperInvokeFiresRules(t *testing.T) {
+	l, closed := newLayer(t)
+	fired := 0
+	l.AddRule(&Rule{
+		Name: "r", EventKey: pingAfter(),
+		Action: func(rc *RuleCtx) error { fired++; return nil },
+	})
+	ft := closed.Begin()
+	obj, _ := closed.NewObject(ft, "Sensor")
+	if _, err := l.Invoke(ft, obj, "ping", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	ft.Commit()
+}
+
+func TestDirectInvokeBypassesLayer(t *testing.T) {
+	// §4: "each single method-body must be modified... or the
+	// application must announce events" — a direct call misses rules.
+	l, closed := newLayer(t)
+	fired := 0
+	l.AddRule(&Rule{
+		Name: "r", EventKey: pingAfter(),
+		Action: func(rc *RuleCtx) error { fired++; return nil },
+	})
+	ft := closed.Begin()
+	obj, _ := closed.NewObject(ft, "Sensor")
+	closed.Invoke(ft, obj, "ping", int64(1)) // bypass
+	ft.Commit()
+	if fired != 0 {
+		t.Fatal("rule fired despite bypassing the wrapper: layered should miss it")
+	}
+}
+
+func TestAnnouncedEvents(t *testing.T) {
+	l, closed := newLayer(t)
+	fired := 0
+	l.AddRule(&Rule{
+		Name: "r", EventKey: "app:custom",
+		Action: func(rc *RuleCtx) error { fired++; return nil },
+	})
+	ft := closed.Begin()
+	if err := l.Announce(ft, &event.Instance{SpecKey: "app:custom"}); err != nil {
+		t.Fatal(err)
+	}
+	ft.Commit()
+	if fired != 1 || l.Announced != 1 {
+		t.Fatalf("fired=%d announced=%d", fired, l.Announced)
+	}
+}
+
+func TestPollingDetectsStateChanges(t *testing.T) {
+	l, closed := newLayer(t)
+	var changes [][2]any
+	key := event.StateSpec{Class: "Sensor", Attr: "val"}.Key()
+	l.AddRule(&Rule{
+		Name: "watch", EventKey: key,
+		Action: func(rc *RuleCtx) error {
+			changes = append(changes, [2]any{rc.Trigger.Args[0], rc.Trigger.Args[1]})
+			return nil
+		},
+	})
+	ft := closed.Begin()
+	obj, _ := closed.NewObject(ft, "Sensor")
+	if err := l.Track(ft, obj); err != nil {
+		t.Fatal(err)
+	}
+	// Change invisible to the layer until a poll.
+	closed.Set(ft, obj, "val", 7)
+	if len(changes) != 0 {
+		t.Fatal("state change detected without polling (impossible in a closed system)")
+	}
+	if err := l.Poll(ft); err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || changes[0][1] != int64(7) {
+		t.Fatalf("changes = %v", changes)
+	}
+	// Two changes between polls collapse into one detected transition
+	// — polling loses intermediate states.
+	closed.Set(ft, obj, "val", 8)
+	closed.Set(ft, obj, "val", 9)
+	l.Poll(ft)
+	if len(changes) != 2 {
+		t.Fatalf("changes = %v, want 2 (intermediate state lost)", changes)
+	}
+	if changes[1][0] != int64(7) || changes[1][1] != int64(9) {
+		t.Fatalf("second change = %v, want 7->9 (8 lost)", changes[1])
+	}
+	// Polls cost reads even when nothing changed.
+	before := l.PollReads
+	l.Poll(ft)
+	if l.PollReads == before {
+		t.Fatal("idle poll was free — it must pay per-attribute reads")
+	}
+	ft.Commit()
+}
+
+func TestRuleFailureLeavesPartialEffects(t *testing.T) {
+	// Without nested transactions a failing rule cannot be contained:
+	// its earlier writes stay unless the whole transaction aborts.
+	l, closed := newLayer(t)
+	l.AddRule(&Rule{
+		Name: "half", EventKey: pingAfter(),
+		Action: func(rc *RuleCtx) error {
+			obj, _ := rc.Layer.Closed().Root(rc.Txn, "target")
+			rc.Layer.Closed().Set(rc.Txn, obj, "alarms", 1)
+			return errors.New("second half failed")
+		},
+	})
+	ft := closed.Begin()
+	obj, _ := closed.NewObject(ft, "Sensor")
+	closed.SetRoot(ft, "target", obj)
+	if _, err := l.Invoke(ft, obj, "ping", int64(1)); err == nil {
+		t.Fatal("rule failure not surfaced")
+	}
+	// The partial effect is visible inside the same transaction.
+	if v, _ := closed.Get(ft, obj, "alarms"); v != int64(1) {
+		t.Fatalf("alarms = %v; the flat-transaction layer cannot undo partial rule effects", v)
+	}
+	ft.Abort() // only recourse: throw everything away
+}
+
+func TestManualDeferredRequiresDiscipline(t *testing.T) {
+	l, closed := newLayer(t)
+	ran := 0
+	ft := closed.Begin()
+	l.AtCommit(ft, func() error { ran++; return nil })
+	// Forgetting RunDeferred: commit succeeds, rule silently skipped.
+	if err := ft.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 {
+		t.Fatal("deferred work ran without RunDeferred (closed system has no hook)")
+	}
+	// Disciplined application:
+	ft2 := closed.Begin()
+	l.AtCommit(ft2, func() error { ran++; return nil })
+	if err := l.RunDeferred(ft2); err != nil {
+		t.Fatal(err)
+	}
+	ft2.Commit()
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+}
+
+func TestConditionFiltering(t *testing.T) {
+	l, closed := newLayer(t)
+	fired := 0
+	l.AddRule(&Rule{
+		Name: "r", EventKey: pingAfter(),
+		Cond: func(rc *RuleCtx) (bool, error) {
+			return rc.Trigger.Args[0].(int64) > 10, nil
+		},
+		Action: func(rc *RuleCtx) error { fired++; return nil },
+	})
+	ft := closed.Begin()
+	obj, _ := closed.NewObject(ft, "Sensor")
+	l.Invoke(ft, obj, "ping", int64(5))
+	l.Invoke(ft, obj, "ping", int64(50))
+	ft.Commit()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestAddRuleValidation(t *testing.T) {
+	l, _ := newLayer(t)
+	if err := l.AddRule(&Rule{Name: "", EventKey: "k", Action: func(*RuleCtx) error { return nil }}); err == nil {
+		t.Fatal("nameless rule accepted")
+	}
+	if err := l.AddRule(&Rule{Name: "n", EventKey: "", Action: func(*RuleCtx) error { return nil }}); err == nil {
+		t.Fatal("eventless rule accepted")
+	}
+	if err := l.AddRule(&Rule{Name: "n", EventKey: "k"}); err == nil {
+		t.Fatal("actionless rule accepted")
+	}
+}

@@ -1,0 +1,811 @@
+package oodb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Sink consumes the primitive events the database raises: method
+// invocation (before/after), state changes, and object lifecycle
+// (create/delete, modelled as method events). The call is synchronous
+// — for a Before event the sink's return is the "go-ahead" of Figure
+// 2; an error vetoes the operation and is surfaced to the caller.
+//
+// Wants is the cheap pre-check a well-designed sentry performs before
+// paying for event-object construction: when it returns false the
+// database skips building the instance entirely, so the "useless
+// overhead" of a sentry with no subscribers stays a key lookup
+// (paper §6.2, [WSTR93]).
+type Sink interface {
+	Wants(specKey string) bool
+	Emit(in *event.Instance) error
+}
+
+// Lifecycle pseudo-method names under which create and delete events
+// are raised. Detecting deletion through the destructor is exactly
+// what persistent C++ systems allow and O2-style persistence by
+// reachability does not (paper §4).
+const (
+	MethodCreate = "__create__"
+	MethodDelete = "__delete__"
+)
+
+// Options configure a database.
+type Options struct {
+	// Dir is the storage directory; empty selects a purely in-memory
+	// database (no persistence across Open calls).
+	Dir string
+	// Storage tunes the storage manager when Dir is set.
+	Storage storage.Options
+	// Clock supplies timestamps for event instances; defaults to the
+	// real clock.
+	Clock clock.Clock
+	// PersistByReachability makes commit persist every transient
+	// object reachable via references from a persistent object.
+	PersistByReachability bool
+}
+
+// DB is the database: dictionary, address spaces, transaction
+// integration, and the persistence policy manager.
+type DB struct {
+	dict  *Dictionary
+	txns  *txn.Manager
+	store *storage.Store
+	clk   clock.Clock
+	opts  Options
+
+	sink atomic.Value // Sink
+
+	mu       sync.Mutex
+	cache    map[OID]*Object // transient address space
+	ridOf    map[OID]storage.RID
+	roots    map[string]OID
+	rootsRID storage.RID
+	extents  map[string]map[OID]bool
+	nextOID  uint64
+}
+
+// Errors returned by database operations.
+var (
+	ErrNoSuchObject = errors.New("oodb: no such object")
+	ErrNoSuchRoot   = errors.New("oodb: no such root")
+	ErrNoSuchAttr   = errors.New("oodb: no such attribute")
+	ErrNoSuchMethod = errors.New("oodb: no such method")
+	ErrDeleted      = errors.New("oodb: object deleted")
+)
+
+// Open opens a database with the given options.
+func Open(opts Options) (*DB, error) {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	db := &DB{
+		dict:     NewDictionary(),
+		txns:     txn.NewManager(),
+		clk:      opts.Clock,
+		opts:     opts,
+		cache:    make(map[OID]*Object),
+		ridOf:    make(map[OID]storage.RID),
+		roots:    make(map[string]OID),
+		rootsRID: storage.InvalidRID,
+		extents:  make(map[string]map[OID]bool),
+	}
+	if opts.Dir != "" {
+		st, err := storage.Open(opts.Dir, opts.Storage)
+		if err != nil {
+			return nil, err
+		}
+		db.store = st
+		if err := db.loadCatalog(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	db.txns.SetDurability(db.flushCommit, db.flushAbort)
+	return db, nil
+}
+
+// loadCatalog rebuilds the object table, roots and OID counter by
+// scanning the store (the persistent address space).
+func (db *DB) loadCatalog() error {
+	return db.store.Scan(func(rid storage.RID, rec []byte) {
+		if len(rec) == 0 {
+			return
+		}
+		switch rec[0] {
+		case recRoots:
+			if roots, err := decodeRoots(rec); err == nil {
+				db.roots = roots
+				db.rootsRID = rid
+			}
+		case recObject:
+			if oid, class, _, err := decodeObject(rec); err == nil {
+				db.ridOf[oid] = rid
+				ext := db.extents[class]
+				if ext == nil {
+					ext = make(map[OID]bool)
+					db.extents[class] = ext
+				}
+				ext[oid] = true
+				if uint64(oid) > db.nextOID {
+					db.nextOID = uint64(oid)
+				}
+			}
+		}
+	})
+}
+
+// Dictionary exposes the data dictionary for class registration.
+func (db *DB) Dictionary() *Dictionary { return db.dict }
+
+// TxnManager exposes the transaction manager (the rule engine installs
+// its listener there).
+func (db *DB) TxnManager() *txn.Manager { return db.txns }
+
+// Clock returns the database's time source.
+func (db *DB) Clock() clock.Clock { return db.clk }
+
+// SetSink installs the event sink (nil disables event delivery).
+func (db *DB) SetSink(s Sink) { db.sink.Store(&s) }
+
+func (db *DB) currentSink() Sink {
+	v := db.sink.Load()
+	if v == nil {
+		return nil
+	}
+	return *(v.(*Sink))
+}
+
+// Begin starts a top-level transaction.
+func (db *DB) Begin() *txn.Txn { return db.txns.Begin() }
+
+// NewObject creates a transient object of the named class inside t.
+func (db *DB) NewObject(t *txn.Txn, className string) (*Object, error) {
+	class, err := db.dict.Lookup(className)
+	if err != nil {
+		return nil, err
+	}
+	oid := OID(atomic.AddUint64(&db.nextOID, 1))
+	values := make([]any, len(class.attrs))
+	for i, a := range class.attrs {
+		values[i] = a.Type.zero()
+	}
+	obj := &Object{oid: oid, class: class, values: values}
+	if err := t.Lock(uint64(oid), txn.LockExclusive); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.cache[oid] = obj
+	ext := db.extents[className]
+	if ext == nil {
+		ext = make(map[OID]bool)
+		db.extents[className] = ext
+	}
+	ext[oid] = true
+	db.mu.Unlock()
+	t.OnAbort(func() {
+		db.mu.Lock()
+		delete(db.cache, oid)
+		if ext := db.extents[className]; ext != nil {
+			delete(ext, oid)
+		}
+		db.mu.Unlock()
+	})
+	if class.Monitored {
+		if err := db.emitMethod(t, obj, MethodCreate, nil, nil, event.After); err != nil {
+			return nil, err
+		}
+	}
+	return obj, nil
+}
+
+// Get reads attribute attr of obj under t (shared lock).
+func (db *DB) Get(t *txn.Txn, obj *Object, attr string) (any, error) {
+	idx := obj.class.AttrIndex(attr)
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchAttr, obj.class.Name, attr)
+	}
+	if err := t.Lock(uint64(obj.oid), txn.LockShared); err != nil {
+		return nil, err
+	}
+	if obj.Deleted() {
+		return nil, fmt.Errorf("%w: %v", ErrDeleted, obj)
+	}
+	return obj.get(idx), nil
+}
+
+// Set writes attribute attr of obj under t (exclusive lock), raising a
+// state-change event when the class is monitored.
+func (db *DB) Set(t *txn.Txn, obj *Object, attr string, v any) error {
+	idx := obj.class.AttrIndex(attr)
+	if idx < 0 {
+		return fmt.Errorf("%w: %s.%s", ErrNoSuchAttr, obj.class.Name, attr)
+	}
+	val, err := checkValue(obj.class.attrs[idx].Type, v)
+	if err != nil {
+		return err
+	}
+	if err := t.Lock(uint64(obj.oid), txn.LockExclusive); err != nil {
+		return err
+	}
+	if obj.Deleted() {
+		return fmt.Errorf("%w: %v", ErrDeleted, obj)
+	}
+	old := obj.get(idx)
+	obj.set(idx, val)
+	t.OnAbort(func() { obj.set(idx, old) })
+	db.markDirty(t, obj)
+	if obj.class.Monitored {
+		sink := db.currentSink()
+		if sink != nil {
+			key := obj.class.stateKey(attr)
+			if !sink.Wants(key) {
+				return nil
+			}
+			in := &event.Instance{
+				SpecKey: key,
+				Kind:    event.KindState,
+				Time:    db.clk.Now(),
+				Txn:     t.Top().ID(),
+				OID:     uint64(obj.oid),
+				Class:   obj.class.Name,
+				Args:    []any{old, val},
+				Origin:  t,
+			}
+			if err := sink.Emit(in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Invoke calls the named method on obj under t. For monitored classes
+// the sentry raises before/after method events; the before event's
+// return is the go-ahead (an error vetoes the call).
+func (db *DB) Invoke(t *txn.Txn, obj *Object, method string, args ...any) (any, error) {
+	impl, ok := obj.class.lookupMethod(method)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, obj.class.Name, method)
+	}
+	monitored := obj.class.Monitored
+	if monitored {
+		if err := db.emitMethod(t, obj, method, args, nil, event.Before); err != nil {
+			return nil, err
+		}
+	}
+	res, err := impl(&Ctx{DB: db, Txn: t}, obj, args)
+	if err != nil {
+		return nil, err
+	}
+	if monitored {
+		if err := db.emitMethod(t, obj, method, args, res, event.After); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func (db *DB) emitMethod(t *txn.Txn, obj *Object, method string, args []any, result any, when event.When) error {
+	sink := db.currentSink()
+	if sink == nil {
+		return nil
+	}
+	key := obj.class.methodKey(method, when)
+	if !sink.Wants(key) {
+		return nil
+	}
+	in := &event.Instance{
+		SpecKey: key,
+		Kind:    event.KindMethod,
+		Time:    db.clk.Now(),
+		Txn:     t.Top().ID(),
+		OID:     uint64(obj.oid),
+		Class:   obj.class.Name,
+		Method:  method,
+		Args:    args,
+		Result:  result,
+		Origin:  t,
+	}
+	return sink.Emit(in)
+}
+
+// Persist marks obj persistent; its state is written at top-level
+// commit. On an in-memory database persistence is a no-op mark — the
+// object survives for the process lifetime and can be named as a
+// root, but nothing reaches stable storage.
+func (db *DB) Persist(t *txn.Txn, obj *Object) error {
+	if err := t.Lock(uint64(obj.oid), txn.LockExclusive); err != nil {
+		return err
+	}
+	obj.mu.Lock()
+	was := obj.persistent
+	obj.persistent = true
+	obj.mu.Unlock()
+	if !was {
+		t.OnAbort(func() {
+			obj.mu.Lock()
+			obj.persistent = false
+			obj.mu.Unlock()
+		})
+	}
+	db.markDirty(t, obj)
+	return nil
+}
+
+// SetRoot names obj in the persistent roots directory and persists it.
+func (db *DB) SetRoot(t *txn.Txn, name string, obj *Object) error {
+	if err := db.Persist(t, obj); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	old, had := db.roots[name]
+	db.roots[name] = obj.oid
+	db.mu.Unlock()
+	t.OnAbort(func() {
+		db.mu.Lock()
+		if had {
+			db.roots[name] = old
+		} else {
+			delete(db.roots, name)
+		}
+		db.mu.Unlock()
+	})
+	ws := db.writeSet(t)
+	ws.mu.Lock()
+	ws.rootsDirty = true
+	ws.mu.Unlock()
+	return nil
+}
+
+// Root fetches the object registered under name — the OpenOODB->fetch
+// of the paper's condition-function example (§6.1).
+func (db *DB) Root(t *txn.Txn, name string) (*Object, error) {
+	db.mu.Lock()
+	oid, ok := db.roots[name]
+	db.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchRoot, name)
+	}
+	return db.Load(t, oid)
+}
+
+// RootNames lists the registered root names.
+func (db *DB) RootNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.roots))
+	for n := range db.roots {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Load returns the object with the given OID, faulting it in from the
+// persistent address space if necessary (the sentried "object
+// dereference" of §5).
+func (db *DB) Load(t *txn.Txn, oid OID) (*Object, error) {
+	if err := t.Lock(uint64(oid), txn.LockShared); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if obj, ok := db.cache[oid]; ok {
+		db.mu.Unlock()
+		if obj.Deleted() {
+			return nil, fmt.Errorf("%w: %v", ErrDeleted, obj)
+		}
+		return obj, nil
+	}
+	rid, ok := db.ridOf[oid]
+	db.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchObject, oid)
+	}
+	rec, err := db.store.Get(rid)
+	if err != nil {
+		return nil, fmt.Errorf("oodb: load %v: %w", oid, err)
+	}
+	gotOID, className, values, err := decodeObject(rec)
+	if err != nil {
+		return nil, err
+	}
+	if gotOID != oid {
+		return nil, fmt.Errorf("oodb: object table maps %v to record of %v", oid, gotOID)
+	}
+	class, err := db.dict.Lookup(className)
+	if err != nil {
+		return nil, fmt.Errorf("oodb: load %v: %w", oid, err)
+	}
+	// Schema growth: zero-fill missing trailing slots.
+	for len(values) < len(class.attrs) {
+		values = append(values, class.attrs[len(values)].Type.zero())
+	}
+	obj := &Object{oid: oid, class: class, values: values, persistent: true}
+	db.mu.Lock()
+	if existing, ok := db.cache[oid]; ok {
+		obj = existing // lost the race; use the resident copy
+	} else {
+		db.cache[oid] = obj
+	}
+	db.mu.Unlock()
+	return obj, nil
+}
+
+// Delete removes obj. The destructor event is raised before the
+// deletion so deletion-triggered rules can see the dying object.
+func (db *DB) Delete(t *txn.Txn, obj *Object) error {
+	if obj.class.Monitored {
+		if err := db.emitMethod(t, obj, MethodDelete, nil, nil, event.Before); err != nil {
+			return err
+		}
+	}
+	if err := t.Lock(uint64(obj.oid), txn.LockExclusive); err != nil {
+		return err
+	}
+	obj.mu.Lock()
+	if obj.deleted {
+		obj.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrDeleted, obj)
+	}
+	obj.deleted = true
+	obj.mu.Unlock()
+	t.OnAbort(func() {
+		obj.mu.Lock()
+		obj.deleted = false
+		obj.mu.Unlock()
+	})
+	ws := db.writeSet(t)
+	ws.mu.Lock()
+	ws.deleted[obj.oid] = obj
+	delete(ws.dirty, obj.oid)
+	ws.mu.Unlock()
+	return nil
+}
+
+// Extent calls fn with the OID of every live object of the class
+// (including subclass members when the dictionary says so is handled
+// by the query layer).
+func (db *DB) Extent(className string, fn func(OID)) {
+	db.mu.Lock()
+	oids := make([]OID, 0, len(db.extents[className]))
+	for oid := range db.extents[className] {
+		oids = append(oids, oid)
+	}
+	db.mu.Unlock()
+	for _, oid := range oids {
+		fn(oid)
+	}
+}
+
+// writeSetKey keys the per-top-transaction write set.
+type writeSetKey struct{}
+
+type writeSet struct {
+	mu         sync.Mutex
+	dirty      map[OID]*Object
+	deleted    map[OID]*Object
+	rootsDirty bool
+}
+
+// writeSet returns (creating if needed) the write set of t's top-level
+// transaction.
+func (db *DB) writeSet(t *txn.Txn) *writeSet {
+	top := t.Top()
+	if ws, ok := top.Value(writeSetKey{}).(*writeSet); ok {
+		return ws
+	}
+	ws := &writeSet{dirty: make(map[OID]*Object), deleted: make(map[OID]*Object)}
+	top.SetValue(writeSetKey{}, ws)
+	return ws
+}
+
+func (db *DB) markDirty(t *txn.Txn, obj *Object) {
+	ws := db.writeSet(t)
+	ws.mu.Lock()
+	ws.dirty[obj.oid] = obj
+	ws.mu.Unlock()
+}
+
+// flushCommit is the durability callback: it translates the top-level
+// transaction's dirty persistent objects into storage records inside
+// one storage transaction and commits it.
+func (db *DB) flushCommit(t *txn.Txn) error {
+	ws, ok := t.Value(writeSetKey{}).(*writeSet)
+	if !ok {
+		return nil // read-only transaction
+	}
+	if db.store == nil {
+		db.applyInMemory(ws)
+		return nil
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	tid := t.ID()
+	begun := false
+	begin := func() error {
+		if begun {
+			return nil
+		}
+		begun = true
+		return db.store.Begin(tid)
+	}
+
+	if db.opts.PersistByReachability {
+		db.persistReachableLocked(ws)
+	}
+
+	for oid, obj := range ws.deleted {
+		db.mu.Lock()
+		rid, had := db.ridOf[oid]
+		db.mu.Unlock()
+		if had {
+			if err := begin(); err != nil {
+				return err
+			}
+			if err := db.store.Delete(tid, rid); err != nil {
+				return err
+			}
+		}
+		db.mu.Lock()
+		delete(db.ridOf, oid)
+		delete(db.cache, oid)
+		if ext := db.extents[obj.class.Name]; ext != nil {
+			delete(ext, oid)
+		}
+		db.mu.Unlock()
+	}
+
+	for oid, obj := range ws.dirty {
+		if !obj.Persistent() || obj.Deleted() {
+			continue
+		}
+		rec, err := encodeObject(oid, obj.class.Name, obj.snapshotValues())
+		if err != nil {
+			return err
+		}
+		if err := begin(); err != nil {
+			return err
+		}
+		db.mu.Lock()
+		rid, had := db.ridOf[oid]
+		db.mu.Unlock()
+		if had {
+			newRID, err := db.store.Update(tid, rid, rec)
+			if err != nil {
+				return err
+			}
+			if newRID != rid {
+				db.mu.Lock()
+				db.ridOf[oid] = newRID
+				db.mu.Unlock()
+			}
+		} else {
+			rid, err := db.store.Insert(tid, rec)
+			if err != nil {
+				return err
+			}
+			db.mu.Lock()
+			db.ridOf[oid] = rid
+			db.mu.Unlock()
+		}
+	}
+
+	if ws.rootsDirty {
+		if err := begin(); err != nil {
+			return err
+		}
+		db.mu.Lock()
+		rec := encodeRoots(db.roots)
+		rootsRID := db.rootsRID
+		db.mu.Unlock()
+		if rootsRID.Valid() {
+			newRID, err := db.store.Update(tid, rootsRID, rec)
+			if err != nil {
+				return err
+			}
+			db.mu.Lock()
+			db.rootsRID = newRID
+			db.mu.Unlock()
+		} else {
+			rid, err := db.store.Insert(tid, rec)
+			if err != nil {
+				return err
+			}
+			db.mu.Lock()
+			db.rootsRID = rid
+			db.mu.Unlock()
+		}
+	}
+
+	if begun {
+		return db.store.Commit(tid)
+	}
+	return nil
+}
+
+// applyInMemory performs the cache-side effects of a commit for a
+// database without a store.
+func (db *DB) applyInMemory(ws *writeSet) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for oid, obj := range ws.deleted {
+		db.mu.Lock()
+		delete(db.cache, oid)
+		if ext := db.extents[obj.class.Name]; ext != nil {
+			delete(ext, oid)
+		}
+		db.mu.Unlock()
+	}
+}
+
+// persistReachableLocked extends the dirty set with every transient
+// object reachable by reference from a persistent dirty object —
+// persistence by reachability, the model O2 uses (§4).
+func (db *DB) persistReachableLocked(ws *writeSet) {
+	queue := make([]*Object, 0, len(ws.dirty))
+	for _, obj := range ws.dirty {
+		if obj.Persistent() {
+			queue = append(queue, obj)
+		}
+	}
+	seen := make(map[OID]bool)
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		if seen[obj.oid] {
+			continue
+		}
+		seen[obj.oid] = true
+		for i, a := range obj.class.attrs {
+			if a.Type != TRef {
+				continue
+			}
+			ref, _ := obj.get(i).(OID)
+			if ref == 0 {
+				continue
+			}
+			db.mu.Lock()
+			target := db.cache[ref]
+			db.mu.Unlock()
+			if target == nil || target.Deleted() {
+				continue
+			}
+			target.mu.Lock()
+			fresh := !target.persistent
+			target.persistent = true
+			target.mu.Unlock()
+			if fresh || ws.dirty[ref] == nil {
+				ws.dirty[ref] = target
+				queue = append(queue, target)
+			}
+		}
+	}
+}
+
+// flushAbort is the durability callback for abort: the storage
+// transaction (if one was begun by a failed flush) is rolled back.
+func (db *DB) flushAbort(t *txn.Txn) error {
+	if db.store == nil {
+		return nil
+	}
+	reloc, err := db.store.Abort(t.ID())
+	if err != nil {
+		if errors.Is(err, storage.ErrUnknownTxn) {
+			return nil // flush never began a storage transaction
+		}
+		return err
+	}
+	if len(reloc) > 0 {
+		db.mu.Lock()
+		for oid, rid := range db.ridOf {
+			if nr, ok := reloc[rid]; ok {
+				db.ridOf[oid] = nr
+			}
+		}
+		if nr, ok := reloc[db.rootsRID]; ok {
+			db.rootsRID = nr
+		}
+		db.mu.Unlock()
+	}
+	return nil
+}
+
+// EvictClean drops unpinned clean objects from the transient address
+// space (used by tests to force faulting).
+func (db *DB) EvictClean() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for oid, obj := range db.cache {
+		if obj.Persistent() && !obj.Deleted() {
+			delete(db.cache, oid)
+		}
+	}
+}
+
+// StorageStats reports storage-manager counters (zero Stats for an
+// in-memory database).
+func (db *DB) StorageStats() storage.Stats {
+	if db.store == nil {
+		return storage.Stats{}
+	}
+	return db.store.Stats()
+}
+
+// Checkpoint flushes committed state and truncates the log.
+func (db *DB) Checkpoint() error {
+	if db.store == nil {
+		return nil
+	}
+	return db.store.Checkpoint()
+}
+
+// Close closes the database and its store.
+func (db *DB) Close() error {
+	if db.store == nil {
+		return nil
+	}
+	return db.store.Close()
+}
+
+// Ctx is the invocation context handed to method bodies.
+type Ctx struct {
+	DB  *DB
+	Txn *txn.Txn
+}
+
+// Get reads an attribute of obj.
+func (c *Ctx) Get(obj *Object, attr string) (any, error) { return c.DB.Get(c.Txn, obj, attr) }
+
+// Set writes an attribute of obj.
+func (c *Ctx) Set(obj *Object, attr string, v any) error { return c.DB.Set(c.Txn, obj, attr, v) }
+
+// Invoke calls a method on obj.
+func (c *Ctx) Invoke(obj *Object, method string, args ...any) (any, error) {
+	return c.DB.Invoke(c.Txn, obj, method, args...)
+}
+
+// Root fetches a named root object.
+func (c *Ctx) Root(name string) (*Object, error) { return c.DB.Root(c.Txn, name) }
+
+// New creates a transient object.
+func (c *Ctx) New(class string) (*Object, error) { return c.DB.NewObject(c.Txn, class) }
+
+// Load dereferences an OID.
+func (c *Ctx) Load(oid OID) (*Object, error) { return c.DB.Load(c.Txn, oid) }
+
+// GetInt reads an int attribute, with a zero fallback on type error.
+func (c *Ctx) GetInt(obj *Object, attr string) (int64, error) {
+	v, err := c.Get(obj, attr)
+	if err != nil {
+		return 0, err
+	}
+	x, _ := v.(int64)
+	return x, nil
+}
+
+// GetFloat reads a float attribute.
+func (c *Ctx) GetFloat(obj *Object, attr string) (float64, error) {
+	v, err := c.Get(obj, attr)
+	if err != nil {
+		return 0, err
+	}
+	x, _ := v.(float64)
+	return x, nil
+}
+
+// GetString reads a string attribute.
+func (c *Ctx) GetString(obj *Object, attr string) (string, error) {
+	v, err := c.Get(obj, attr)
+	if err != nil {
+		return "", err
+	}
+	x, _ := v.(string)
+	return x, nil
+}

@@ -1,0 +1,6 @@
+package oodb
+
+import "math"
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,70 @@
+package oodb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Object is one instance of a class. Attribute slots follow the
+// class's declaration order. Objects are transient until persisted
+// (explicitly or by reachability from a persistent object at commit).
+//
+// Isolation is provided by the lock manager in the database layer:
+// conflicting access takes object-granular locks; the object's own
+// mutex only protects structural integrity.
+type Object struct {
+	oid   OID
+	class *Class
+
+	mu         sync.RWMutex
+	values     []any
+	persistent bool
+	deleted    bool
+}
+
+// OID returns the object identifier.
+func (o *Object) OID() OID { return o.oid }
+
+// Class returns the object's class descriptor.
+func (o *Object) Class() *Class { return o.class }
+
+// Persistent reports whether the object is (or will be at commit)
+// stored durably.
+func (o *Object) Persistent() bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.persistent
+}
+
+// Deleted reports whether the object has been deleted.
+func (o *Object) Deleted() bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.deleted
+}
+
+// get reads an attribute slot without lock-manager involvement.
+func (o *Object) get(idx int) any {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.values[idx]
+}
+
+// set writes an attribute slot without lock-manager involvement.
+func (o *Object) set(idx int, v any) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.values[idx] = v
+}
+
+// snapshotValues copies the attribute slots (for translation).
+func (o *Object) snapshotValues() []any {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return append([]any(nil), o.values...)
+}
+
+// String implements fmt.Stringer.
+func (o *Object) String() string {
+	return fmt.Sprintf("%s#%d", o.class.Name, o.oid)
+}

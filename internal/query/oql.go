@@ -1,0 +1,160 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/oodb"
+	"repro/internal/txn"
+)
+
+// OQL executes a textual query in the OQL[C++] spirit of the Open
+// OODB query interface (§5, §7):
+//
+//	select s from Sensor s where s.val >= 5 and s.name != "broken"
+//
+// The where clause is a conjunction of attribute-versus-literal
+// comparisons; it may be omitted.
+func (p *Processor) OQL(t *txn.Txn, q string) ([]*oodb.Object, error) {
+	class, preds, err := parseOQL(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.Select(t, class, preds...)
+}
+
+func parseOQL(q string) (string, []Pred, error) {
+	toks := tokenizeOQL(q)
+	i := 0
+	expect := func(word string) error {
+		if i >= len(toks) || !strings.EqualFold(toks[i], word) {
+			return fmt.Errorf("query: expected %q in %q", word, q)
+		}
+		i++
+		return nil
+	}
+	if err := expect("select"); err != nil {
+		return "", nil, err
+	}
+	if i >= len(toks) {
+		return "", nil, fmt.Errorf("query: truncated query %q", q)
+	}
+	binder := toks[i]
+	i++
+	if err := expect("from"); err != nil {
+		return "", nil, err
+	}
+	if i >= len(toks) {
+		return "", nil, fmt.Errorf("query: missing class in %q", q)
+	}
+	class := toks[i]
+	i++
+	// Optional rebinding: "from Sensor s".
+	if i < len(toks) && !strings.EqualFold(toks[i], "where") {
+		binder = toks[i]
+		i++
+	}
+	var preds []Pred
+	if i < len(toks) {
+		if err := expect("where"); err != nil {
+			return "", nil, err
+		}
+		for {
+			if i+2 >= len(toks) {
+				return "", nil, fmt.Errorf("query: truncated predicate in %q", q)
+			}
+			ref, opTok, litTok := toks[i], toks[i+1], toks[i+2]
+			i += 3
+			attr, ok := strings.CutPrefix(ref, binder+".")
+			if !ok {
+				return "", nil, fmt.Errorf("query: predicate %q must reference %s.<attr>", ref, binder)
+			}
+			op, err := parseOp(opTok)
+			if err != nil {
+				return "", nil, err
+			}
+			val, err := parseLiteral(litTok)
+			if err != nil {
+				return "", nil, err
+			}
+			preds = append(preds, Pred{Attr: attr, Op: op, Value: val})
+			if i < len(toks) && strings.EqualFold(toks[i], "and") {
+				i++
+				continue
+			}
+			break
+		}
+	}
+	if i != len(toks) {
+		return "", nil, fmt.Errorf("query: trailing tokens in %q", q)
+	}
+	return class, preds, nil
+}
+
+func parseOp(s string) (Op, error) {
+	switch s {
+	case "==", "=":
+		return Eq, nil
+	case "!=", "<>":
+		return Ne, nil
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	}
+	return 0, fmt.Errorf("query: unknown operator %q", s)
+}
+
+func parseLiteral(s string) (any, error) {
+	switch {
+	case len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"':
+		return s[1 : len(s)-1], nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case strings.ContainsAny(s, "."):
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad literal %q", s)
+		}
+		return f, nil
+	default:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad literal %q", s)
+		}
+		return n, nil
+	}
+}
+
+// tokenizeOQL splits on whitespace, keeping quoted strings intact.
+func tokenizeOQL(q string) []string {
+	var toks []string
+	var cur strings.Builder
+	inStr := false
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range q {
+		switch {
+		case r == '"':
+			inStr = !inStr
+			cur.WriteRune(r)
+		case !inStr && (r == ' ' || r == '\t' || r == '\n'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}

@@ -1,0 +1,439 @@
+// Package query implements an OQL-flavoured query processor over the
+// object database: class-extent scans with conjunctive predicates,
+// and hash indexes that are maintained by ECA rules — the paper's
+// plan to "express other system properties such as index maintenance
+// PMs with the active database paradigm" (§7).
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/eca"
+	"repro/internal/event"
+	"repro/internal/oodb"
+	"repro/internal/txn"
+)
+
+// Op is a comparison operator in a predicate.
+type Op int
+
+// Comparison operators.
+const (
+	Eq Op = iota + 1
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Pred is one comparison: attr <op> value.
+type Pred struct {
+	Attr  string
+	Op    Op
+	Value any
+}
+
+// Processor executes queries and owns the secondary indexes.
+type Processor struct {
+	db     *oodb.DB
+	engine *eca.Engine
+
+	mu      sync.RWMutex
+	indexes map[string]*HashIndex // key: Class.attr
+}
+
+// New returns a query processor. engine may be nil, in which case
+// CreateIndex refuses (index maintenance is rule-driven).
+func New(db *oodb.DB, engine *eca.Engine) *Processor {
+	return &Processor{db: db, engine: engine, indexes: make(map[string]*HashIndex)}
+}
+
+// HashIndex is an equality index on one attribute of one class.
+type HashIndex struct {
+	Class string
+	Attr  string
+
+	mu      sync.RWMutex
+	buckets map[any][]oodb.OID
+	size    int
+	// probes/hits feed the index-vs-scan experiment.
+	probes uint64
+}
+
+func newHashIndex(class, attr string) *HashIndex {
+	return &HashIndex{Class: class, Attr: attr, buckets: make(map[any][]oodb.OID)}
+}
+
+func (ix *HashIndex) add(key any, oid oodb.OID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, o := range ix.buckets[key] {
+		if o == oid {
+			return
+		}
+	}
+	ix.buckets[key] = append(ix.buckets[key], oid)
+	ix.size++
+}
+
+func (ix *HashIndex) remove(key any, oid oodb.OID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	bucket := ix.buckets[key]
+	for i, o := range bucket {
+		if o == oid {
+			ix.buckets[key] = append(bucket[:i], bucket[i+1:]...)
+			ix.size--
+			if len(ix.buckets[key]) == 0 {
+				delete(ix.buckets, key)
+			}
+			return
+		}
+	}
+}
+
+// Lookup returns the OIDs indexed under key.
+func (ix *HashIndex) Lookup(key any) []oodb.OID {
+	ix.mu.Lock()
+	ix.probes++
+	out := append([]oodb.OID(nil), ix.buckets[key]...)
+	ix.mu.Unlock()
+	return out
+}
+
+// Size reports the number of indexed entries.
+func (ix *HashIndex) Size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.size
+}
+
+// CreateIndex builds a hash index on Class.attr and installs the ECA
+// rules that keep it maintained: an immediate rule on the state-change
+// event updates the index inside the mutating transaction (with an
+// undo compensation so aborts roll the index back), and immediate
+// rules on the create/delete lifecycle events insert and remove
+// objects. The class must be monitored for the events to flow.
+func (p *Processor) CreateIndex(class, attr string) (*HashIndex, error) {
+	if p.engine == nil {
+		return nil, fmt.Errorf("query: index maintenance needs a rule engine")
+	}
+	cls, err := p.db.Dictionary().Lookup(class)
+	if err != nil {
+		return nil, err
+	}
+	if cls.AttrIndex(attr) < 0 {
+		return nil, fmt.Errorf("query: class %s has no attribute %s", class, attr)
+	}
+	if !cls.Monitored {
+		return nil, fmt.Errorf("query: class %s is not monitored; index maintenance rules would not fire", class)
+	}
+	key := class + "." + attr
+	p.mu.Lock()
+	if _, dup := p.indexes[key]; dup {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("query: index on %s already exists", key)
+	}
+	ix := newHashIndex(class, attr)
+	p.indexes[key] = ix
+	p.mu.Unlock()
+
+	// Initial build from the extent.
+	build := p.db.Begin()
+	var buildErr error
+	p.db.Extent(class, func(oid oodb.OID) {
+		if buildErr != nil {
+			return
+		}
+		obj, err := p.db.Load(build, oid)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		v, err := p.db.Get(build, obj, attr)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		ix.add(v, oid)
+	})
+	if buildErr != nil {
+		build.Abort()
+		p.DropIndex(class, attr)
+		return nil, buildErr
+	}
+	if err := build.Commit(); err != nil {
+		return nil, err
+	}
+
+	// Maintenance rules (immediate coupling: the index mutates inside
+	// the transaction; compensations undo on abort).
+	stateKey := event.StateSpec{Class: class, Attr: attr}.Key()
+	err = p.engine.AddRule(&eca.Rule{
+		Name:       fmt.Sprintf("__index_%s_update", key),
+		EventKey:   stateKey,
+		Priority:   1 << 20, // index maintenance ahead of user rules
+		ActionMode: eca.Immediate,
+		Action: func(rc *eca.RuleCtx) error {
+			oid := oodb.OID(rc.Trigger.OID)
+			old, new := rc.Trigger.Args[0], rc.Trigger.Args[1]
+			ix.remove(old, oid)
+			ix.add(new, oid)
+			rc.Txn.Top().OnAbort(func() {
+				ix.remove(new, oid)
+				ix.add(old, oid)
+			})
+			return nil
+		},
+	})
+	if err != nil {
+		p.DropIndex(class, attr)
+		return nil, err
+	}
+	createKey := event.MethodSpec{Class: class, Method: oodb.MethodCreate, When: event.After}.Key()
+	err = p.engine.AddRule(&eca.Rule{
+		Name:       fmt.Sprintf("__index_%s_create", key),
+		EventKey:   createKey,
+		Priority:   1 << 20,
+		ActionMode: eca.Immediate,
+		Action: func(rc *eca.RuleCtx) error {
+			oid := oodb.OID(rc.Trigger.OID)
+			obj, err := rc.Ctx().Load(oid)
+			if err != nil {
+				return err
+			}
+			v, err := rc.Ctx().Get(obj, attr)
+			if err != nil {
+				return err
+			}
+			ix.add(v, oid)
+			rc.Txn.Top().OnAbort(func() { ix.remove(v, oid) })
+			return nil
+		},
+	})
+	if err != nil {
+		p.DropIndex(class, attr)
+		return nil, err
+	}
+	deleteKey := event.MethodSpec{Class: class, Method: oodb.MethodDelete, When: event.Before}.Key()
+	err = p.engine.AddRule(&eca.Rule{
+		Name:       fmt.Sprintf("__index_%s_delete", key),
+		EventKey:   deleteKey,
+		Priority:   1 << 20,
+		ActionMode: eca.Immediate,
+		Action: func(rc *eca.RuleCtx) error {
+			oid := oodb.OID(rc.Trigger.OID)
+			obj, err := rc.Ctx().Load(oid)
+			if err != nil {
+				return err
+			}
+			v, err := rc.Ctx().Get(obj, attr)
+			if err != nil {
+				return err
+			}
+			ix.remove(v, oid)
+			rc.Txn.Top().OnAbort(func() { ix.add(v, oid) })
+			return nil
+		},
+	})
+	if err != nil {
+		p.DropIndex(class, attr)
+		return nil, err
+	}
+	return ix, nil
+}
+
+// DropIndex removes an index and its maintenance rules.
+func (p *Processor) DropIndex(class, attr string) bool {
+	key := class + "." + attr
+	p.mu.Lock()
+	_, ok := p.indexes[key]
+	delete(p.indexes, key)
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if p.engine != nil {
+		stateKey := event.StateSpec{Class: class, Attr: attr}.Key()
+		p.engine.RemoveRule(stateKey, fmt.Sprintf("__index_%s_update", key))
+		createKey := event.MethodSpec{Class: class, Method: oodb.MethodCreate, When: event.After}.Key()
+		p.engine.RemoveRule(createKey, fmt.Sprintf("__index_%s_create", key))
+		deleteKey := event.MethodSpec{Class: class, Method: oodb.MethodDelete, When: event.Before}.Key()
+		p.engine.RemoveRule(deleteKey, fmt.Sprintf("__index_%s_delete", key))
+	}
+	return true
+}
+
+// Index returns the index on Class.attr, or nil.
+func (p *Processor) Index(class, attr string) *HashIndex {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.indexes[class+"."+attr]
+}
+
+// Select returns the objects of class (including subclasses) whose
+// attributes satisfy every predicate, sorted by OID. An equality
+// predicate with a matching index turns the scan into a probe.
+func (p *Processor) Select(t *txn.Txn, class string, preds ...Pred) ([]*oodb.Object, error) {
+	// Index selection: first Eq predicate with an index on the class.
+	var probe *HashIndex
+	var probeVal any
+	for _, pr := range preds {
+		if pr.Op != Eq {
+			continue
+		}
+		if ix := p.Index(class, pr.Attr); ix != nil {
+			probe = ix
+			probeVal = normalize(pr.Value)
+			break
+		}
+	}
+	var candidates []oodb.OID
+	if probe != nil {
+		candidates = probe.Lookup(probeVal)
+	} else {
+		for _, cls := range p.db.Dictionary().Classes() {
+			if !p.db.Dictionary().IsSubclassOf(cls, class) {
+				continue
+			}
+			p.db.Extent(cls, func(oid oodb.OID) { candidates = append(candidates, oid) })
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	var out []*oodb.Object
+	for _, oid := range candidates {
+		obj, err := p.db.Load(t, oid)
+		if err != nil {
+			continue // deleted or rolled back concurrently
+		}
+		ok := true
+		for _, pr := range preds {
+			v, err := p.db.Get(t, obj, pr.Attr)
+			if err != nil {
+				ok = false
+				break
+			}
+			match, err := compare(v, pr.Op, pr.Value)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, obj)
+		}
+	}
+	return out, nil
+}
+
+// Count is Select without materializing the objects.
+func (p *Processor) Count(t *txn.Txn, class string, preds ...Pred) (int, error) {
+	objs, err := p.Select(t, class, preds...)
+	return len(objs), err
+}
+
+// normalize coerces ints so map probes hit the canonical int64 form.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case float32:
+		return float64(x)
+	}
+	return v
+}
+
+// compare evaluates v <op> want with numeric coercion.
+func compare(v any, op Op, want any) (bool, error) {
+	v, want = normalize(v), normalize(want)
+	if lf, ok := toFloat(v); ok {
+		if rf, ok := toFloat(want); ok {
+			switch op {
+			case Eq:
+				return lf == rf, nil
+			case Ne:
+				return lf != rf, nil
+			case Lt:
+				return lf < rf, nil
+			case Le:
+				return lf <= rf, nil
+			case Gt:
+				return lf > rf, nil
+			case Ge:
+				return lf >= rf, nil
+			}
+		}
+	}
+	if ls, ok := v.(string); ok {
+		if rs, ok := want.(string); ok {
+			switch op {
+			case Eq:
+				return ls == rs, nil
+			case Ne:
+				return ls != rs, nil
+			case Lt:
+				return ls < rs, nil
+			case Le:
+				return ls <= rs, nil
+			case Gt:
+				return ls > rs, nil
+			case Ge:
+				return ls >= rs, nil
+			}
+		}
+	}
+	if lb, ok := v.(bool); ok {
+		if rb, ok := want.(bool); ok {
+			switch op {
+			case Eq:
+				return lb == rb, nil
+			case Ne:
+				return lb != rb, nil
+			}
+		}
+	}
+	switch op {
+	case Eq:
+		return v == want, nil
+	case Ne:
+		return v != want, nil
+	}
+	return false, fmt.Errorf("query: cannot compare %T %v %T", v, op, want)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return float64(n), true
+	case float64:
+		return n, true
+	}
+	return 0, false
+}

@@ -1,0 +1,310 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/eca"
+	"repro/internal/oodb"
+)
+
+func newQP(t *testing.T) (*Processor, *oodb.DB, *eca.Engine) {
+	t.Helper()
+	db, err := oodb.Open(oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor := oodb.NewClass("Sensor",
+		oodb.Attr{Name: "name", Type: oodb.TString},
+		oodb.Attr{Name: "val", Type: oodb.TInt},
+		oodb.Attr{Name: "zone", Type: oodb.TString},
+	)
+	sensor.Monitored = true
+	if err := db.Dictionary().Register(sensor); err != nil {
+		t.Fatal(err)
+	}
+	thermo := oodb.NewClass("Thermometer", oodb.Attr{Name: "unit", Type: oodb.TString})
+	thermo.Super = "Sensor"
+	thermo.Monitored = true
+	if err := db.Dictionary().Register(thermo); err != nil {
+		t.Fatal(err)
+	}
+	e := eca.New(db, eca.Options{})
+	t.Cleanup(e.Close)
+	return New(db, e), db, e
+}
+
+func seed(t *testing.T, db *oodb.DB, n int) []*oodb.Object {
+	t.Helper()
+	tx := db.Begin()
+	var objs []*oodb.Object
+	for i := 0; i < n; i++ {
+		obj, err := db.NewObject(tx, "Sensor")
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Set(tx, obj, "name", fmt.Sprintf("s%02d", i))
+		db.Set(tx, obj, "val", int64(i%10))
+		db.Set(tx, obj, "zone", []string{"north", "south"}[i%2])
+		objs = append(objs, obj)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return objs
+}
+
+func TestSelectScanWithPredicates(t *testing.T) {
+	p, db, _ := newQP(t)
+	seed(t, db, 20)
+	tx := db.Begin()
+	defer tx.Commit()
+	got, err := p.Select(tx, "Sensor", Pred{Attr: "val", Op: Eq, Value: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("val==3 matched %d, want 2", len(got))
+	}
+	got, err = p.Select(tx, "Sensor",
+		Pred{Attr: "val", Op: Ge, Value: 5},
+		Pred{Attr: "zone", Op: Eq, Value: "north"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range got {
+		v, _ := db.Get(tx, o, "val")
+		z, _ := db.Get(tx, o, "zone")
+		if v.(int64) < 5 || z != "north" {
+			t.Fatalf("predicate violated: val=%v zone=%v", v, z)
+		}
+	}
+	if len(got) != 5 { // vals 6,8 north? i%10>=5 and i%2==0 → i in {6,8,16,18} plus... compute: i=6,8,16,18 val 6,8,6,8 → 4? recount below
+		// indices 0..19, zone north when i even; val = i%10 >= 5 → i%10 in 5..9.
+		// even i with i%10 in {6,8}: 6, 8, 16, 18 → 4 matches.
+		if len(got) != 4 {
+			t.Fatalf("conjunctive query matched %d, want 4", len(got))
+		}
+	}
+}
+
+func TestSelectIncludesSubclasses(t *testing.T) {
+	p, db, _ := newQP(t)
+	tx := db.Begin()
+	s, _ := db.NewObject(tx, "Sensor")
+	db.Set(tx, s, "val", 1)
+	th, _ := db.NewObject(tx, "Thermometer")
+	db.Set(tx, th, "val", 1)
+	tx.Commit()
+	tx2 := db.Begin()
+	defer tx2.Commit()
+	got, err := p.Select(tx2, "Sensor", Pred{Attr: "val", Op: Eq, Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("superclass query matched %d, want 2 (incl. subclass)", len(got))
+	}
+	got, _ = p.Select(tx2, "Thermometer")
+	if len(got) != 1 {
+		t.Fatalf("subclass query matched %d, want 1", len(got))
+	}
+}
+
+func TestIndexProbeEqualsScan(t *testing.T) {
+	p, db, _ := newQP(t)
+	seed(t, db, 50)
+	tx := db.Begin()
+	scan, err := p.Select(tx, "Sensor", Pred{Attr: "val", Op: Eq, Value: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	ix, err := p.CreateIndex("Sensor", "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Size() != 50 {
+		t.Fatalf("index size = %d, want 50", ix.Size())
+	}
+	tx2 := db.Begin()
+	probed, err := p.Select(tx2, "Sensor", Pred{Attr: "val", Op: Eq, Value: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+	if len(probed) != len(scan) {
+		t.Fatalf("index probe %d results, scan %d", len(probed), len(scan))
+	}
+	for i := range probed {
+		if probed[i].OID() != scan[i].OID() {
+			t.Fatal("index probe and scan disagree")
+		}
+	}
+}
+
+func TestIndexMaintainedByRules(t *testing.T) {
+	p, db, _ := newQP(t)
+	objs := seed(t, db, 10)
+	ix, err := p.CreateIndex("Sensor", "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Update moves the entry between buckets.
+	tx := db.Begin()
+	if err := db.Set(tx, objs[0], "val", 99); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if got := ix.Lookup(int64(99)); len(got) != 1 || got[0] != objs[0].OID() {
+		t.Fatalf("index after update: %v", got)
+	}
+	if got := ix.Lookup(int64(0)); len(got) != 0 {
+		t.Fatalf("old bucket still has %v", got)
+	}
+
+	// Create adds, delete removes.
+	tx2 := db.Begin()
+	fresh, _ := db.NewObject(tx2, "Sensor")
+	db.Set(tx2, fresh, "val", 99)
+	db.Delete(tx2, objs[1])
+	tx2.Commit()
+	if got := ix.Lookup(int64(99)); len(got) != 2 {
+		t.Fatalf("index after create: %v", got)
+	}
+	if got := ix.Lookup(int64(1)); len(got) != 0 {
+		t.Fatalf("index after delete: %v", got)
+	}
+}
+
+func TestIndexRolledBackOnAbort(t *testing.T) {
+	p, db, _ := newQP(t)
+	objs := seed(t, db, 5)
+	ix, err := p.CreateIndex("Sensor", "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	db.Set(tx, objs[0], "val", 77)
+	created, _ := db.NewObject(tx, "Sensor")
+	db.Set(tx, created, "val", 77)
+	tx.Abort()
+	if got := ix.Lookup(int64(77)); len(got) != 0 {
+		t.Fatalf("index kept aborted entries: %v", got)
+	}
+	if got := ix.Lookup(int64(0)); len(got) != 1 || got[0] != objs[0].OID() {
+		t.Fatalf("index lost the pre-abort entry: %v", got)
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	p, db, _ := newQP(t)
+	if _, err := p.CreateIndex("NoSuchClass", "val"); err == nil {
+		t.Fatal("index on unknown class created")
+	}
+	if _, err := p.CreateIndex("Sensor", "nope"); err == nil {
+		t.Fatal("index on unknown attribute created")
+	}
+	unmonitored := oodb.NewClass("Plain", oodb.Attr{Name: "x", Type: oodb.TInt})
+	db.Dictionary().Register(unmonitored)
+	if _, err := p.CreateIndex("Plain", "x"); err == nil {
+		t.Fatal("index on unmonitored class created")
+	}
+	if _, err := p.CreateIndex("Sensor", "val"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateIndex("Sensor", "val"); err == nil {
+		t.Fatal("duplicate index created")
+	}
+	if !p.DropIndex("Sensor", "val") {
+		t.Fatal("DropIndex = false")
+	}
+	if p.DropIndex("Sensor", "val") {
+		t.Fatal("double DropIndex = true")
+	}
+}
+
+func TestDropIndexStopsMaintenance(t *testing.T) {
+	p, db, _ := newQP(t)
+	objs := seed(t, db, 3)
+	ix, _ := p.CreateIndex("Sensor", "val")
+	p.DropIndex("Sensor", "val")
+	tx := db.Begin()
+	db.Set(tx, objs[0], "val", 42)
+	tx.Commit()
+	if got := ix.Lookup(int64(42)); len(got) != 0 {
+		t.Fatal("dropped index still maintained")
+	}
+}
+
+func TestOQLQueries(t *testing.T) {
+	p, db, _ := newQP(t)
+	seed(t, db, 20)
+	tx := db.Begin()
+	defer tx.Commit()
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{`select s from Sensor s`, 20},
+		{`select s from Sensor s where s.val == 3`, 2},
+		{`select s from Sensor s where s.val >= 8`, 4},
+		{`select s from Sensor s where s.val < 2 and s.zone == "north"`, 2},
+		{`select s from Sensor s where s.name == "s05"`, 1},
+		{`select s from Sensor`, 20}, // binder defaults to select variable
+	}
+	for _, c := range cases {
+		got, err := p.OQL(tx, c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if len(got) != c.want {
+			t.Errorf("%s matched %d, want %d", c.q, len(got), c.want)
+		}
+	}
+}
+
+func TestOQLErrors(t *testing.T) {
+	p, db, _ := newQP(t)
+	tx := db.Begin()
+	defer tx.Commit()
+	bad := []string{
+		``,
+		`choose s from Sensor s`,
+		`select s from`,
+		`select s from Sensor s where`,
+		`select s from Sensor s where t.val == 1`,
+		`select s from Sensor s where s.val ~~ 1`,
+		`select s from Sensor s where s.val == abc`,
+		`select s from Sensor s where s.val == 1 garbage`,
+	}
+	for _, q := range bad {
+		if _, err := p.OQL(tx, q); err == nil {
+			t.Errorf("OQL accepted %q", q)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	p, db, _ := newQP(t)
+	seed(t, db, 10)
+	tx := db.Begin()
+	defer tx.Commit()
+	n, err := p.Count(tx, "Sensor", Pred{Attr: "zone", Op: Eq, Value: "south"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("Count = %d, want 5", n)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for _, op := range []Op{Eq, Ne, Lt, Le, Gt, Ge} {
+		if op.String() == "?" {
+			t.Errorf("Op %d has no String", op)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package rules implements the REACH rule definition language of
+// §6.1 — the C++-embedded syntax of the paper's WaterLevel example:
+//
+//	rule WaterLevel {
+//	    prio 5;
+//	    decl River *river, int x, Reactor *reactor named "BlockA";
+//	    event after river->updateWaterLevel(x);
+//	    cond imm x < 37 and river->getWaterTemp() > 24.5
+//	             and reactor->getHeatOutput() > 1000000;
+//	    action imm reactor->reducePlannedPower(0.05);
+//	};
+//
+// A rule is parsed into a declaration, compiled into a rule object
+// whose condition and action functions evaluate against the live
+// database (the analogue of the shared-library "Cond"/"Action" C
+// functions), and registered with the ECA engine. Composite event
+// specifications (seq, and, or, not, times, closure) compile into
+// algebra composites defined alongside the rule.
+package rules
+
+import (
+	"fmt"
+	"strings"
+	"time"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokDuration
+	tokPunct // one of  { } ( ) ; , = == != <= >= < > + - * / % -> .
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	dval time.Duration
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexError reports a scanning failure with its line.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("rules: line %d: %s", e.line, e.msg) }
+
+// lex scans src into tokens. Comments run from // or # to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#' || (c == '/' && i+1 < n && src[i+1] == '/'):
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				if src[j] == '\n' {
+					return nil, &lexError{line, "newline in string literal"}
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, &lexError{line, "unterminated string literal"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line})
+			i = j + 1
+		case unicode.IsDigit(rune(c)):
+			j := i
+			isFloat := false
+			for j < n && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				if src[j] == '.' {
+					if isFloat {
+						break
+					}
+					isFloat = true
+				}
+				j++
+			}
+			numEnd := j
+			// Duration suffix? (ns, us, ms, s, m, h)
+			for j < n && (src[j] == 'n' || src[j] == 'u' || src[j] == 'm' || src[j] == 's' || src[j] == 'h') {
+				j++
+			}
+			if j > numEnd {
+				d, err := time.ParseDuration(src[i:j])
+				if err != nil {
+					return nil, &lexError{line, fmt.Sprintf("bad duration %q", src[i:j])}
+				}
+				toks = append(toks, token{kind: tokDuration, text: src[i:j], dval: d, line: line})
+				i = j
+				continue
+			}
+			text := src[i:numEnd]
+			if isFloat {
+				var f float64
+				if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+					return nil, &lexError{line, fmt.Sprintf("bad number %q", text)}
+				}
+				toks = append(toks, token{kind: tokFloat, text: text, fval: f, line: line})
+			} else {
+				var v int64
+				if _, err := fmt.Sscanf(text, "%d", &v); err != nil {
+					return nil, &lexError{line, fmt.Sprintf("bad number %q", text)}
+				}
+				toks = append(toks, token{kind: tokInt, text: text, ival: v, line: line})
+			}
+			i = numEnd
+			// re-scan potential duration suffix consumed above
+			if j > numEnd {
+				i = j
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "->", "==", "!=", "<=", ">=":
+				toks = append(toks, token{kind: tokPunct, text: two, line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '{', '}', '(', ')', ';', ',', '=', '<', '>', '+', '-', '*', '/', '%', '.', '!':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

@@ -1,0 +1,617 @@
+package rules
+
+import (
+	"fmt"
+	"time"
+)
+
+// Parse parses a rule set: any number of rule definitions.
+func Parse(src string) ([]*RuleDecl, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []*RuleDecl
+	for !p.at(tokEOF) {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rules: no rule definitions found")
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) atIdent(s string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == s
+}
+
+func (p *parser) eatPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errf("expected %q, got %s", s, p.cur())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) eatIdent(s string) error {
+	if !p.atIdent(s) {
+		return p.errf("expected %q, got %s", s, p.cur())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if !p.at(tokIdent) {
+		return "", p.errf("expected identifier, got %s", p.cur())
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("rules: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// rule := "rule" IDENT "{" clause* "}" ";"?
+func (p *parser) rule() (*RuleDecl, error) {
+	if err := p.eatIdent("rule"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eatPunct("{"); err != nil {
+		return nil, err
+	}
+	r := &RuleDecl{Name: name}
+	for !p.atPunct("}") {
+		if err := p.clause(r); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	if p.atPunct(";") {
+		p.next()
+	}
+	if r.Event == nil {
+		return nil, fmt.Errorf("rules: rule %s has no event clause", name)
+	}
+	if len(r.Actions) == 0 {
+		return nil, fmt.Errorf("rules: rule %s has no action clause", name)
+	}
+	return r, nil
+}
+
+func (p *parser) clause(r *RuleDecl) error {
+	kw, err := p.ident()
+	if err != nil {
+		return err
+	}
+	switch kw {
+	case "prio":
+		if !p.at(tokInt) {
+			return p.errf("prio needs an integer")
+		}
+		r.Prio = int(p.next().ival)
+	case "decl":
+		for {
+			d, err := p.varDecl()
+			if err != nil {
+				return err
+			}
+			r.Decls = append(r.Decls, d)
+			if !p.atPunct(",") {
+				break
+			}
+			p.next()
+		}
+	case "event":
+		ev, err := p.eventExpr()
+		if err != nil {
+			return err
+		}
+		r.Event = ev
+	case "cond":
+		r.CondMode = p.optMode()
+		e, err := p.expr()
+		if err != nil {
+			return err
+		}
+		r.Cond = e
+	case "action":
+		r.ActionMode = p.optMode()
+		for {
+			s, err := p.stmt()
+			if err != nil {
+				return err
+			}
+			r.Actions = append(r.Actions, s)
+			if !p.atPunct(",") {
+				break
+			}
+			p.next()
+		}
+	case "policy":
+		pol, err := p.ident()
+		if err != nil {
+			return err
+		}
+		r.Policy = pol
+	case "scope":
+		sc, err := p.ident()
+		if err != nil {
+			return err
+		}
+		r.Scope = sc
+	case "validity":
+		if !p.at(tokDuration) {
+			return p.errf("validity needs a duration (e.g. 10s)")
+		}
+		r.Validity = p.next().dval
+	default:
+		return p.errf("unknown clause %q", kw)
+	}
+	return p.eatPunct(";")
+}
+
+// optMode consumes a coupling mode keyword if present.
+func (p *parser) optMode() string {
+	if p.at(tokIdent) {
+		switch p.cur().text {
+		case "imm", "immediate", "deferred", "detached", "parallel", "sequential", "exclusive":
+			return p.next().text
+		}
+	}
+	return ""
+}
+
+// varDecl := IDENT "*"? IDENT ("named" STRING)?
+func (p *parser) varDecl() (VarDecl, error) {
+	class, err := p.ident()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	d := VarDecl{Class: class}
+	if p.atPunct("*") {
+		d.Ptr = true
+		p.next()
+	}
+	d.Name, err = p.ident()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	if p.atIdent("named") {
+		p.next()
+		if !p.at(tokString) {
+			return VarDecl{}, p.errf("named needs a string")
+		}
+		d.Named = p.next().text
+	}
+	return d, nil
+}
+
+// eventExpr := composite | primitive
+func (p *parser) eventExpr() (EventExpr, error) {
+	if p.at(tokIdent) {
+		switch p.cur().text {
+		case "seq", "and", "or":
+			op := p.next().text
+			subs, err := p.eventList()
+			if err != nil {
+				return nil, err
+			}
+			switch op {
+			case "seq":
+				return SeqEvent{Sub: subs}, nil
+			case "and":
+				return AndEvent{Sub: subs}, nil
+			default:
+				return OrEvent{Sub: subs}, nil
+			}
+		case "not":
+			p.next()
+			if err := p.eatPunct("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.eventExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.eatPunct(")"); err != nil {
+				return nil, err
+			}
+			return NotEvent{Sub: sub}, nil
+		case "times":
+			p.next()
+			if err := p.eatPunct("("); err != nil {
+				return nil, err
+			}
+			if !p.at(tokInt) {
+				return nil, p.errf("times needs a count")
+			}
+			n := int(p.next().ival)
+			if err := p.eatPunct(","); err != nil {
+				return nil, err
+			}
+			sub, err := p.eventExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.eatPunct(")"); err != nil {
+				return nil, err
+			}
+			return TimesEvent{N: n, Sub: sub}, nil
+		case "closure":
+			p.next()
+			if err := p.eatPunct("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.eventExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.eatPunct(")"); err != nil {
+				return nil, err
+			}
+			return CloseEvent{Sub: sub}, nil
+		}
+	}
+	return p.primEvent()
+}
+
+func (p *parser) eventList() ([]EventExpr, error) {
+	if err := p.eatPunct("("); err != nil {
+		return nil, err
+	}
+	var subs []EventExpr
+	for {
+		sub, err := p.eventExpr()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+		if p.atPunct(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.eatPunct(")"); err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+// primEvent :=
+//
+//	("before"|"after") IDENT "->" IDENT "(" IDENT,* ")"
+//	| "update" "of" IDENT "." IDENT
+//	| "bot" | "eot" | "commit" | "abort"
+//	| "at" STRING | "every" DURATION | "in" DURATION
+func (p *parser) primEvent() (EventExpr, error) {
+	kw, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch kw {
+	case "before", "after":
+		recv, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eatPunct("->"); err != nil {
+			return nil, err
+		}
+		method, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eatPunct("("); err != nil {
+			return nil, err
+		}
+		var params []string
+		for !p.atPunct(")") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, name)
+			if p.atPunct(",") {
+				p.next()
+			}
+		}
+		p.next() // )
+		return MethodEvent{After: kw == "after", Recv: recv, Method: method, Params: params}, nil
+	case "update":
+		if err := p.eatIdent("of"); err != nil {
+			return nil, err
+		}
+		class, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eatPunct("."); err != nil {
+			return nil, err
+		}
+		attr, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return StateEvent{Class: class, Attr: attr}, nil
+	case "bot", "eot", "commit", "abort":
+		return TxnEvent{Phase: kw}, nil
+	case "at":
+		if !p.at(tokString) {
+			return nil, p.errf("at needs an RFC3339 string")
+		}
+		s := p.next().text
+		at, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return nil, p.errf("bad timestamp %q: %v", s, err)
+		}
+		return TimeEvent{Kind: "at", At: at}, nil
+	case "every":
+		if !p.at(tokDuration) {
+			return nil, p.errf("every needs a duration")
+		}
+		return TimeEvent{Kind: "every", Period: p.next().dval}, nil
+	case "in":
+		if !p.at(tokDuration) {
+			return nil, p.errf("in needs a duration")
+		}
+		return TimeEvent{Kind: "in", Period: p.next().dval}, nil
+	}
+	return nil, p.errf("unknown event specification %q", kw)
+}
+
+// expr with precedence: or < and < not < comparison < additive <
+// multiplicative < unary < primary.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atIdent("or") {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atIdent("and") {
+		p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.atIdent("not") || p.atPunct("!") {
+		p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return UnOp{Op: "not", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct) {
+		op := p.cur().text
+		switch op {
+		case "<", "<=", ">", ">=", "==", "!=":
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = BinOp{Op: op, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") || p.atPunct("%") {
+		op := p.next().text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.atPunct("-") {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return UnOp{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.at(tokInt):
+		return Lit{Val: p.next().ival}, nil
+	case p.at(tokFloat):
+		return Lit{Val: p.next().fval}, nil
+	case p.at(tokString):
+		return Lit{Val: p.next().text}, nil
+	case p.atPunct("("):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.eatPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.at(tokIdent):
+		name := p.next().text
+		switch name {
+		case "true":
+			return Lit{Val: true}, nil
+		case "false":
+			return Lit{Val: false}, nil
+		}
+		if p.atPunct("->") {
+			p.next()
+			method, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return CallExpr{Recv: name, Method: method, Args: args}, nil
+		}
+		if p.atPunct(".") {
+			p.next()
+			attr, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return AttrRef{Var: name, Attr: attr}, nil
+		}
+		return VarRef{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", p.cur())
+}
+
+func (p *parser) callArgs() ([]Expr, error) {
+	if err := p.eatPunct("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.atPunct(")") {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.atPunct(",") {
+			p.next()
+		}
+	}
+	p.next() // )
+	return args, nil
+}
+
+// stmt := "abort" STRING | "set" IDENT "." IDENT "=" expr |
+//
+//	IDENT "->" IDENT "(" args ")" | IDENT "." IDENT "=" expr
+func (p *parser) stmt() (Stmt, error) {
+	if p.atIdent("abort") {
+		p.next()
+		msg := "rule abort"
+		if p.at(tokString) {
+			msg = p.next().text
+		}
+		return AbortStmt{Message: msg}, nil
+	}
+	if p.atIdent("set") {
+		p.next()
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.atPunct("->") {
+		p.next()
+		method, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		return CallStmt{Call: CallExpr{Recv: name, Method: method, Args: args}}, nil
+	}
+	if err := p.eatPunct("."); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eatPunct("="); err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return SetStmt{Target: AttrRef{Var: name, Attr: attr}, Value: val}, nil
+}

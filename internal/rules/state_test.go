@@ -1,0 +1,111 @@
+package rules
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/eca"
+)
+
+// TestStateEventRuleThroughDSL triggers a rule on `update of
+// River.level` — the value-change detection closed systems could not
+// provide (§4).
+func TestStateEventRuleThroughDSL(t *testing.T) {
+	e, db, _ := newPlant(t)
+	tx := db.Begin()
+	riverObj, _ := db.NewObject(tx, "River")
+	tx.Commit()
+
+	src := `
+rule LevelWatch {
+    decl River *r named "watched";
+    event update of River.level;
+    action deferred r->getWaterTemp();
+};
+`
+	tx0 := db.Begin()
+	if err := db.SetRoot(tx0, "watched", riverObj); err != nil {
+		t.Fatal(err)
+	}
+	tx0.Commit()
+
+	loaded, err := Load(e, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Stop()
+
+	var fired atomic.Int64
+	e.AddRule(&eca.Rule{
+		Name:       "count",
+		EventKey:   "method:River.getWaterTemp:after",
+		ActionMode: eca.Detached,
+		Action:     func(*eca.RuleCtx) error { fired.Add(1); return nil },
+	})
+
+	// A direct attribute write raises the state event; the rule defers
+	// to EOT.
+	tx2 := db.Begin()
+	if err := db.Set(tx2, riverObj, "level", 12); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 0 {
+		t.Fatal("deferred state rule ran before EOT")
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.WaitDetached()
+	if fired.Load() != 1 {
+		t.Fatalf("state-change rule fired %d, want 1", fired.Load())
+	}
+}
+
+// TestContinuousPolicyThroughDSL exercises the policy clause end to
+// end.
+func TestContinuousPolicyThroughDSL(t *testing.T) {
+	e, db, _ := newPlant(t)
+	tx := db.Begin()
+	riverObj, _ := db.NewObject(tx, "River")
+	tx.Commit()
+
+	src := `
+rule Windows {
+    decl River *a, int x, River *b, int y;
+    event seq(after a->updateWaterLevel(x), after b->updateWaterLevel(y));
+    policy continuous;
+    scope global;
+    validity 1h;
+    action detached a->getWaterTemp();
+};
+`
+	loaded, err := Load(e, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Stop()
+	if loaded.Composites[0].Policy.String() != "continuous" {
+		t.Fatalf("policy = %v", loaded.Composites[0].Policy)
+	}
+
+	var fired atomic.Int64
+	e.AddRule(&eca.Rule{
+		Name:       "count",
+		EventKey:   "method:River.getWaterTemp:after",
+		ActionMode: eca.Detached,
+		Action:     func(*eca.RuleCtx) error { fired.Add(1); return nil },
+	})
+	// Three updates: each update both terminates the open windows and
+	// opens its own. Update 2 closes window (1,2); update 3 closes
+	// window (2,3) — two completions, with window 3 still open.
+	for i := 0; i < 3; i++ {
+		tx := db.Begin()
+		db.Invoke(tx, riverObj, "updateWaterLevel", int64(i))
+		tx.Commit()
+	}
+	e.DrainComposers()
+	e.WaitDetached()
+	if fired.Load() != 2 {
+		t.Fatalf("continuous windows fired %d, want 2", fired.Load())
+	}
+}

@@ -1,0 +1,144 @@
+// Package sentry implements the Open OODB sentry dispatcher: the
+// low-level event trapping mechanism that sits between the database's
+// operation paths and the ECA managers (paper §5, §6.2).
+//
+// A sentry in Open OODB is an in-line wrapper inserted by a language
+// preprocessor; in this Go reproduction the database calls the
+// dispatcher on every operation of a monitored class. The dispatcher's
+// job is to keep the three overhead classes of [WSTR93] honest:
+//
+//   - useful overhead: the event has subscribers — build the event
+//     object and invoke the consumer (the extension always triggers);
+//   - useless overhead: the event has no subscribers — a single
+//     map lookup, after which normal processing proceeds;
+//   - potentially useful overhead: a subscription exists but is
+//     currently disabled — the lookup plus a state check.
+//
+// Counters for each class feed the sentry-overhead experiment (E1).
+package sentry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/event"
+)
+
+// Consumer receives events that pass the dispatcher's filter —
+// normally the ECA engine. The call is synchronous: for Before events
+// its return is the go-ahead signal.
+type Consumer interface {
+	Consume(in *event.Instance) error
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(in *event.Instance) error
+
+// Consume implements Consumer.
+func (f ConsumerFunc) Consume(in *event.Instance) error { return f(in) }
+
+// Dispatcher filters events by subscription and forwards the
+// survivors to the consumer. It implements the database's Sink
+// interface. The zero value is not usable; call New.
+type Dispatcher struct {
+	consumer Consumer
+
+	mu   sync.RWMutex
+	subs map[string]*subscription
+
+	useful      atomic.Uint64
+	useless     atomic.Uint64
+	potentially atomic.Uint64
+}
+
+type subscription struct {
+	refs     int
+	disabled bool
+}
+
+// New returns a dispatcher forwarding to consumer.
+func New(consumer Consumer) *Dispatcher {
+	return &Dispatcher{
+		consumer: consumer,
+		subs:     make(map[string]*subscription),
+	}
+}
+
+// Subscribe registers interest in the spec key (reference counted).
+func (d *Dispatcher) Subscribe(specKey string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.subs[specKey]
+	if s == nil {
+		s = &subscription{}
+		d.subs[specKey] = s
+	}
+	s.refs++
+}
+
+// Unsubscribe drops one reference to the spec key.
+func (d *Dispatcher) Unsubscribe(specKey string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.subs[specKey]
+	if s == nil {
+		return
+	}
+	s.refs--
+	if s.refs <= 0 {
+		delete(d.subs, specKey)
+	}
+}
+
+// SetEnabled toggles delivery for an existing subscription without
+// dropping it. A disabled subscription is the "potentially useful"
+// overhead class: the sentry still checks, nothing fires.
+func (d *Dispatcher) SetEnabled(specKey string, enabled bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s := d.subs[specKey]; s != nil {
+		s.disabled = !enabled
+	}
+}
+
+// Wants implements the database Sink pre-check. It is the sentry's
+// fast path and must stay cheap.
+func (d *Dispatcher) Wants(specKey string) bool {
+	d.mu.RLock()
+	s := d.subs[specKey]
+	d.mu.RUnlock()
+	if s == nil {
+		d.useless.Add(1)
+		return false
+	}
+	if s.disabled {
+		d.potentially.Add(1)
+		return false
+	}
+	d.useful.Add(1)
+	return true
+}
+
+// Emit implements the database Sink delivery path.
+func (d *Dispatcher) Emit(in *event.Instance) error {
+	return d.consumer.Consume(in)
+}
+
+// Stats reports how many sentry firings fell into each overhead class.
+func (d *Dispatcher) Stats() (useful, useless, potentially uint64) {
+	return d.useful.Load(), d.useless.Load(), d.potentially.Load()
+}
+
+// ResetStats zeroes the overhead counters.
+func (d *Dispatcher) ResetStats() {
+	d.useful.Store(0)
+	d.useless.Store(0)
+	d.potentially.Store(0)
+}
+
+// Subscriptions reports the number of live subscription keys.
+func (d *Dispatcher) Subscriptions() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.subs)
+}

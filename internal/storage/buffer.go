@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches page frames with pin counts and LRU eviction.
+//
+// The pool enforces the store's no-steal policy: a frame dirtied by a
+// transaction that has not yet committed is never written back or
+// evicted. When every frame is pinned or steal-protected, the pool
+// grows past its nominal capacity rather than failing, and shrinks
+// back as frames become evictable.
+type BufferPool struct {
+	pager    *Pager
+	capacity int
+
+	mu     sync.Mutex
+	frames map[PageID]*frame
+	lru    *list.List // of PageID; front = most recently used
+
+	hits   uint64
+	misses uint64
+}
+
+type frame struct {
+	page    Page
+	pins    int
+	dirty   bool
+	noSteal bool // dirtied by an in-flight transaction
+	lruElem *list.Element
+}
+
+// NewBufferPool returns a pool of the given nominal capacity over the
+// pager. Capacity must be at least 1.
+func NewBufferPool(pager *Pager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Stats reports cumulative hit and miss counts.
+func (bp *BufferPool) Stats() (hits, misses uint64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}
+
+// Pin fetches page id into the pool and pins it. The caller must call
+// Unpin when done with the returned Page.
+func (bp *BufferPool) Pin(id PageID) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		bp.hits++
+		fr.pins++
+		bp.lru.MoveToFront(fr.lruElem)
+		return &fr.page, nil
+	}
+	bp.misses++
+	if err := bp.evictLocked(); err != nil {
+		return nil, err
+	}
+	fr := &frame{pins: 1}
+	if err := bp.pager.Read(id, &fr.page); err != nil {
+		return nil, err
+	}
+	fr.lruElem = bp.lru.PushFront(id)
+	bp.frames[id] = fr
+	return &fr.page, nil
+}
+
+// PinNew allocates a fresh page, pins it, and returns its ID.
+func (bp *BufferPool) PinNew() (PageID, *Page, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return InvalidPageID, nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.evictLocked(); err != nil {
+		return InvalidPageID, nil, err
+	}
+	fr := &frame{pins: 1}
+	fr.page.InitPage()
+	fr.lruElem = bp.lru.PushFront(id)
+	bp.frames[id] = fr
+	return id, &fr.page, nil
+}
+
+// Unpin releases one pin on page id. dirty marks the frame modified;
+// noSteal additionally marks it modified by an in-flight transaction.
+func (bp *BufferPool) Unpin(id PageID, dirty, noSteal bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("storage: Unpin(%d) without pin", id))
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+	if noSteal {
+		fr.noSteal = true
+	}
+}
+
+// ReleaseSteal clears the no-steal mark on page id, making the frame
+// writable and evictable again. The store calls it when the last
+// transaction that dirtied the page commits or aborts.
+func (bp *BufferPool) ReleaseSteal(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		fr.noSteal = false
+	}
+}
+
+// evictLocked makes room for one more frame if the pool is at or over
+// capacity. Pinned and no-steal frames are skipped; if none is
+// evictable the pool simply grows.
+func (bp *BufferPool) evictLocked() error {
+	if len(bp.frames) < bp.capacity {
+		return nil
+	}
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		id := e.Value.(PageID)
+		fr := bp.frames[id]
+		if fr.pins > 0 || fr.noSteal {
+			continue
+		}
+		if fr.dirty {
+			if err := bp.pager.Write(id, &fr.page); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(e)
+		delete(bp.frames, id)
+		return nil
+	}
+	return nil // everything pinned or protected: grow
+}
+
+// FlushAll writes every dirty, steal-safe frame back to the pager.
+// Frames still protected by in-flight transactions are skipped.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, fr := range bp.frames {
+		if fr.dirty && !fr.noSteal {
+			if err := bp.pager.Write(id, &fr.page); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Len reports the number of resident frames.
+func (bp *BufferPool) Len() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}

@@ -1,0 +1,287 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageInsertGet(t *testing.T) {
+	var p Page
+	p.InitPage()
+	slot, err := p.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Get(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get = %q, want hello", got)
+	}
+}
+
+func TestPageGetMissing(t *testing.T) {
+	var p Page
+	p.InitPage()
+	if _, err := p.Get(0); err != ErrNoSuchRecord {
+		t.Fatalf("Get(0) err = %v, want ErrNoSuchRecord", err)
+	}
+	slot, _ := p.Insert([]byte("x"))
+	if err := p.Delete(slot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(slot); err != ErrNoSuchRecord {
+		t.Fatalf("Get(deleted) err = %v, want ErrNoSuchRecord", err)
+	}
+	if err := p.Delete(slot); err != ErrNoSuchRecord {
+		t.Fatalf("double Delete err = %v, want ErrNoSuchRecord", err)
+	}
+}
+
+func TestPageDeleteDoesNotReuseSlot(t *testing.T) {
+	// Slot numbers are monotone: a freed slot is never handed to a
+	// fresh insert, so RIDs stay unambiguous across crash recovery.
+	var p Page
+	p.InitPage()
+	s0, _ := p.Insert([]byte("aaa"))
+	s1, _ := p.Insert([]byte("bbb"))
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("ccc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 == s0 {
+		t.Fatalf("fresh insert reused dead slot %d", s0)
+	}
+	if s2 != s1+1 {
+		t.Fatalf("slot = %d, want monotone %d", s2, s1+1)
+	}
+	got, _ := p.Get(s1)
+	if !bytes.Equal(got, []byte("bbb")) {
+		t.Fatalf("neighbor record corrupted: %q", got)
+	}
+	// InsertAt (redo/undo path) may still repopulate the dead slot.
+	if err := p.InsertAt(s0, []byte("restored")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Get(s0)
+	if !bytes.Equal(got, []byte("restored")) {
+		t.Fatalf("InsertAt on dead slot: %q", got)
+	}
+}
+
+func TestPageUpdateInPlace(t *testing.T) {
+	var p Page
+	p.InitPage()
+	slot, _ := p.Insert([]byte("abcdef"))
+	if err := p.Update(slot, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Get(slot)
+	if !bytes.Equal(got, []byte("xy")) {
+		t.Fatalf("after shrink update: %q", got)
+	}
+	if err := p.Update(slot, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Get(slot)
+	if !bytes.Equal(got, []byte("0123456789")) {
+		t.Fatalf("after grow update: %q", got)
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	var p Page
+	p.InitPage()
+	rec := make([]byte, 1000)
+	n := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			if err != ErrPageFull {
+				t.Fatalf("err = %v, want ErrPageFull", err)
+			}
+			break
+		}
+		n++
+	}
+	if n != 8 { // 8*1000 records + 8*4 slots fit in 8192-14
+		t.Fatalf("fit %d x 1000-byte records, want 8", n)
+	}
+}
+
+func TestPageRecordTooLarge(t *testing.T) {
+	var p Page
+	p.InitPage()
+	if _, err := p.Insert(make([]byte, MaxRecordSize+1)); err != ErrRecordTooLarge {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+	if _, err := p.Insert(make([]byte, MaxRecordSize)); err != nil {
+		t.Fatalf("max-size insert failed: %v", err)
+	}
+}
+
+func TestPageCompactionReclaimsSpace(t *testing.T) {
+	var p Page
+	p.InitPage()
+	rec := make([]byte, 1000)
+	var slots []uint16
+	for i := 0; i < 8; i++ {
+		s, err := p.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	// Free two middle records, then insert one 1900-byte record that
+	// only fits if the page compacts the two 1000-byte holes together.
+	p.Delete(slots[2])
+	p.Delete(slots[5])
+	big := make([]byte, 1900)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	s, err := p.Insert(big)
+	if err != nil {
+		t.Fatalf("insert after frees: %v", err)
+	}
+	got, _ := p.Get(s)
+	if !bytes.Equal(got, big) {
+		t.Fatal("compaction corrupted inserted record")
+	}
+	for _, keep := range []uint16{slots[0], slots[1], slots[3], slots[4], slots[6], slots[7]} {
+		if _, err := p.Get(keep); err != nil {
+			t.Fatalf("compaction lost record in slot %d: %v", keep, err)
+		}
+	}
+}
+
+func TestPageInsertAtExactSlot(t *testing.T) {
+	var p Page
+	p.InitPage()
+	if err := p.InsertAt(3, []byte("redo")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Get(3)
+	if err != nil || !bytes.Equal(got, []byte("redo")) {
+		t.Fatalf("Get(3) = %q, %v", got, err)
+	}
+	// Slots 0..2 must exist but be dead.
+	for s := uint16(0); s < 3; s++ {
+		if _, err := p.Get(s); err != ErrNoSuchRecord {
+			t.Fatalf("Get(%d) err = %v, want ErrNoSuchRecord", s, err)
+		}
+	}
+	if err := p.InsertAt(3, []byte("again")); err == nil {
+		t.Fatal("InsertAt occupied slot succeeded")
+	}
+	if err := p.InsertAt(1, []byte("fill")); err != nil {
+		t.Fatalf("InsertAt dead slot: %v", err)
+	}
+}
+
+func TestPageLSN(t *testing.T) {
+	var p Page
+	p.InitPage()
+	if p.LSN() != 0 {
+		t.Fatalf("fresh page LSN = %d, want 0", p.LSN())
+	}
+	p.SetLSN(42)
+	if p.LSN() != 42 {
+		t.Fatalf("LSN = %d, want 42", p.LSN())
+	}
+	// LSN must survive record operations.
+	s, _ := p.Insert([]byte("x"))
+	p.Delete(s)
+	if p.LSN() != 42 {
+		t.Fatalf("LSN after ops = %d, want 42", p.LSN())
+	}
+}
+
+// Property: a random interleaving of inserts, deletes and updates
+// never corrupts surviving records.
+func TestPageRandomOpsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p Page
+		p.InitPage()
+		live := make(map[uint16][]byte)
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0: // insert
+				data := make([]byte, 1+rng.Intn(200))
+				rng.Read(data)
+				slot, err := p.Insert(data)
+				if err == ErrPageFull {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				live[slot] = data
+			case 1: // delete
+				for slot := range live {
+					if err := p.Delete(slot); err != nil {
+						return false
+					}
+					delete(live, slot)
+					break
+				}
+			case 2: // update
+				for slot := range live {
+					data := make([]byte, 1+rng.Intn(200))
+					rng.Read(data)
+					err := p.Update(slot, data)
+					if err == ErrPageFull {
+						break
+					}
+					if err != nil {
+						return false
+					}
+					live[slot] = data
+					break
+				}
+			}
+			// Verify all live records.
+			for slot, want := range live {
+				got, err := p.Get(slot)
+				if err != nil || !bytes.Equal(got, want) {
+					return false
+				}
+			}
+			if p.NumRecords() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageSlotsIteration(t *testing.T) {
+	var p Page
+	p.InitPage()
+	want := map[uint16]string{}
+	for i := 0; i < 5; i++ {
+		s, _ := p.Insert([]byte{byte('a' + i)})
+		want[s] = string([]byte{byte('a' + i)})
+	}
+	p.Delete(2)
+	delete(want, 2)
+	got := map[uint16]string{}
+	p.Slots(func(slot uint16, data []byte) { got[slot] = string(data) })
+	if len(got) != len(want) {
+		t.Fatalf("Slots visited %d records, want %d", len(got), len(want))
+	}
+	for s, v := range want {
+		if got[s] != v {
+			t.Fatalf("slot %d = %q, want %q", s, got[s], v)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Pager performs page-granular I/O against the store's data file and
+// tracks the high-water mark of allocated pages.
+type Pager struct {
+	mu       sync.Mutex
+	f        *os.File
+	numPages PageID
+}
+
+// OpenPager opens (creating if necessary) the data file at path.
+func OpenPager(path string) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open data file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat data file: %w", err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: data file size %d not a multiple of page size", st.Size())
+	}
+	return &Pager{f: f, numPages: PageID(st.Size() / PageSize)}, nil
+}
+
+// NumPages reports the number of allocated pages.
+func (pg *Pager) NumPages() PageID {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	return pg.numPages
+}
+
+// Allocate extends the file by one formatted page and returns its ID.
+func (pg *Pager) Allocate() (PageID, error) {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	id := pg.numPages
+	var p Page
+	p.InitPage()
+	if _, err := pg.f.WriteAt(p.Bytes(), int64(id)*PageSize); err != nil {
+		return InvalidPageID, fmt.Errorf("storage: allocate page %d: %w", id, err)
+	}
+	pg.numPages++
+	return id, nil
+}
+
+// EnsureAllocated extends the file so that page id exists. Redo uses
+// it to recreate pages allocated after the last flush.
+func (pg *Pager) EnsureAllocated(id PageID) error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	for pg.numPages <= id {
+		var p Page
+		p.InitPage()
+		if _, err := pg.f.WriteAt(p.Bytes(), int64(pg.numPages)*PageSize); err != nil {
+			return fmt.Errorf("storage: extend to page %d: %w", id, err)
+		}
+		pg.numPages++
+	}
+	return nil
+}
+
+// Read fills p with the on-disk image of page id.
+func (pg *Pager) Read(id PageID, p *Page) error {
+	pg.mu.Lock()
+	n := pg.numPages
+	pg.mu.Unlock()
+	if id >= n {
+		return fmt.Errorf("storage: read page %d of %d: %w", id, n, errPageOutOfRange)
+	}
+	if _, err := pg.f.ReadAt(p.Bytes(), int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Write stores p as the on-disk image of page id.
+func (pg *Pager) Write(id PageID, p *Page) error {
+	if _, err := pg.f.WriteAt(p.Bytes(), int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Sync flushes the data file to stable storage.
+func (pg *Pager) Sync() error { return pg.f.Sync() }
+
+// Close syncs and closes the data file.
+func (pg *Pager) Close() error {
+	if err := pg.f.Sync(); err != nil {
+		pg.f.Close()
+		return err
+	}
+	return pg.f.Close()
+}
+
+var errPageOutOfRange = errors.New("storage: page out of range")

@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// Property: WAL records of arbitrary content round-trip through the
+// on-disk framing.
+func TestWALRecordRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	type spec struct {
+		Txn    uint64
+		Kind   uint8
+		Page   uint32
+		Slot   uint16
+		Before []byte
+		After  []byte
+	}
+	var want []spec
+	f := func(s spec) bool {
+		s.Kind = s.Kind%7 + 1
+		rec := LogRecord{
+			Txn:    s.Txn,
+			Kind:   LogKind(s.Kind),
+			RID:    RID{Page: PageID(s.Page), Slot: s.Slot},
+			Before: s.Before,
+			After:  s.After,
+		}
+		if _, err := w.Append(&rec); err != nil {
+			return false
+		}
+		want = append(want, s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	var got []LogRecord
+	if err := w.Records(func(r LogRecord) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i, g := range got {
+		s := want[i]
+		if g.Txn != s.Txn || g.Kind != LogKind(s.Kind) ||
+			g.RID.Page != PageID(s.Page) || g.RID.Slot != s.Slot ||
+			!bytes.Equal(g.Before, s.Before) || !bytes.Equal(g.After, s.After) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, g, s)
+		}
+	}
+}
+
+// Property: a store filled with arbitrary records returns exactly
+// those records after close and reopen.
+func TestStoreDurabilityProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		dir := t.TempDir()
+		s, err := Open(dir, Options{})
+		if err != nil {
+			return false
+		}
+		s.Begin(1)
+		type entry struct {
+			rid  RID
+			data []byte
+		}
+		var entries []entry
+		for _, p := range payloads {
+			if len(p) > MaxRecordSize {
+				p = p[:MaxRecordSize]
+			}
+			rid, err := s.Insert(1, p)
+			if err != nil {
+				return false
+			}
+			entries = append(entries, entry{rid, append([]byte(nil), p...)})
+		}
+		if err := s.Commit(1); err != nil {
+			return false
+		}
+		if err := s.Close(); err != nil {
+			return false
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		for _, e := range entries {
+			got, err := s2.Get(e.rid)
+			if err != nil || !bytes.Equal(got, e.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the page never reports more records than inserts minus
+// deletes, and FreeSpace never goes negative.
+func TestPageAccountingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		var p Page
+		p.InitPage()
+		live := 0
+		for _, sz := range sizes {
+			n := int(sz%512) + 1
+			if _, err := p.Insert(make([]byte, n)); err == nil {
+				live++
+			}
+			if p.FreeSpace() < 0 {
+				return false
+			}
+			if p.NumRecords() != live {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// LogKind discriminates write-ahead-log records.
+type LogKind uint8
+
+// Log record kinds.
+const (
+	LogBegin LogKind = iota + 1
+	LogInsert
+	LogUpdate
+	LogDelete
+	LogCommit
+	LogAbort
+	LogCheckpoint
+)
+
+// String implements fmt.Stringer.
+func (k LogKind) String() string {
+	switch k {
+	case LogBegin:
+		return "BEGIN"
+	case LogInsert:
+		return "INSERT"
+	case LogUpdate:
+		return "UPDATE"
+	case LogDelete:
+		return "DELETE"
+	case LogCommit:
+		return "COMMIT"
+	case LogAbort:
+		return "ABORT"
+	case LogCheckpoint:
+		return "CHECKPOINT"
+	}
+	return fmt.Sprintf("LogKind(%d)", uint8(k))
+}
+
+// LogRecord is one entry in the write-ahead log.
+//
+// Insert carries After; Delete carries Before; Update carries both.
+// Commit/Abort/Begin/Checkpoint carry no images.
+type LogRecord struct {
+	LSN    uint64
+	Txn    uint64
+	Kind   LogKind
+	RID    RID
+	Before []byte
+	After  []byte
+}
+
+// WAL is an append-only write-ahead log with CRC-protected records.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	nextLSN uint64
+	path    string
+	// appendsSinceSync counts records buffered since the last Sync,
+	// so Stats can report the effect of group commit.
+	syncs uint64
+}
+
+// OpenWAL opens (creating if necessary) the log file at path and
+// positions the next LSN after the last valid record.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	w := &WAL{f: f, path: path, nextLSN: 1}
+	// Scan to find the end of the valid prefix; truncate any torn tail.
+	validEnd := int64(0)
+	err = w.scan(func(rec LogRecord, end int64) {
+		w.nextLSN = rec.LSN + 1
+		validEnd = end
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.w = bufio.NewWriterSize(f, 1<<16)
+	return w, nil
+}
+
+// Append writes rec to the log, assigning and returning its LSN. The
+// record is buffered; call Sync to force it to stable storage.
+func (w *WAL) Append(rec *LogRecord) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.LSN = w.nextLSN
+	w.nextLSN++
+	if err := writeRecord(w.w, rec); err != nil {
+		return 0, fmt.Errorf("storage: wal append: %w", err)
+	}
+	return rec.LSN, nil
+}
+
+// Sync flushes buffered records and forces the log to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncs++
+	return nil
+}
+
+// Syncs reports the number of fsyncs issued, for the group-commit
+// benchmarks.
+func (w *WAL) Syncs() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncs
+}
+
+// NextLSN reports the LSN the next appended record will receive.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Records calls fn for every valid record in the log, in LSN order.
+func (w *WAL) Records(fn func(LogRecord)) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.w != nil {
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
+	}
+	return w.scan(func(rec LogRecord, _ int64) { fn(rec) })
+}
+
+// Reset truncates the log after a checkpoint has made all effects
+// durable in the data file. The next LSN continues from keepLSN so
+// page LSNs remain monotone.
+func (w *WAL) Reset(keepLSN uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.w.Reset(w.f)
+	if keepLSN >= w.nextLSN {
+		w.nextLSN = keepLSN + 1
+	}
+	return w.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.syncLocked(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// scan reads records from the start of the file, invoking fn with each
+// valid record and the file offset just past it. A torn or corrupt
+// record ends the scan without error (it is the crash frontier).
+func (w *WAL) scan(fn func(rec LogRecord, end int64)) error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(w.f, 1<<16)
+	var off int64
+	for {
+		rec, n, err := readRecord(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, errBadChecksum) {
+				return nil
+			}
+			return err
+		}
+		off += n
+		fn(rec, off)
+	}
+}
+
+var errBadChecksum = errors.New("storage: wal record checksum mismatch")
+
+// On-disk record framing:
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//
+// payload: u64 lsn | u64 txn | u8 kind | u32 page | u16 slot |
+//
+//	u32 beforeLen | before | u32 afterLen | after
+func writeRecord(w io.Writer, rec *LogRecord) error {
+	payload := make([]byte, 0, 31+len(rec.Before)+len(rec.After))
+	payload = binary.LittleEndian.AppendUint64(payload, rec.LSN)
+	payload = binary.LittleEndian.AppendUint64(payload, rec.Txn)
+	payload = append(payload, byte(rec.Kind))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(rec.RID.Page))
+	payload = binary.LittleEndian.AppendUint16(payload, rec.RID.Slot)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Before)))
+	payload = append(payload, rec.Before...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.After)))
+	payload = append(payload, rec.After...)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readRecord(r io.Reader) (LogRecord, int64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return LogRecord{}, 0, err
+	}
+	payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if payloadLen > 16*PageSize {
+		return LogRecord{}, 0, errBadChecksum
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return LogRecord{}, 0, err
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return LogRecord{}, 0, errBadChecksum
+	}
+	var rec LogRecord
+	p := payload
+	rec.LSN = binary.LittleEndian.Uint64(p[0:8])
+	rec.Txn = binary.LittleEndian.Uint64(p[8:16])
+	rec.Kind = LogKind(p[16])
+	rec.RID.Page = PageID(binary.LittleEndian.Uint32(p[17:21]))
+	rec.RID.Slot = binary.LittleEndian.Uint16(p[21:23])
+	p = p[23:]
+	bl := binary.LittleEndian.Uint32(p[0:4])
+	p = p[4:]
+	if bl > 0 {
+		rec.Before = append([]byte(nil), p[:bl]...)
+	}
+	p = p[bl:]
+	al := binary.LittleEndian.Uint32(p[0:4])
+	p = p[4:]
+	if al > 0 {
+		rec.After = append([]byte(nil), p[:al]...)
+	}
+	return rec, int64(8 + payloadLen), nil
+}

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestWAL(t *testing.T) (*WAL, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, path
+}
+
+func TestWALAppendAssignsMonotoneLSNs(t *testing.T) {
+	w, _ := openTestWAL(t)
+	defer w.Close()
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		lsn, err := w.Append(&LogRecord{Txn: 1, Kind: LogInsert, RID: RID{Page: 0, Slot: uint16(i)}, After: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn <= prev {
+			t.Fatalf("LSN %d not > previous %d", lsn, prev)
+		}
+		prev = lsn
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	w, path := openTestWAL(t)
+	recs := []LogRecord{
+		{Txn: 7, Kind: LogBegin, RID: InvalidRID},
+		{Txn: 7, Kind: LogInsert, RID: RID{Page: 3, Slot: 1}, After: []byte("after-image")},
+		{Txn: 7, Kind: LogUpdate, RID: RID{Page: 3, Slot: 1}, Before: []byte("after-image"), After: []byte("newer")},
+		{Txn: 7, Kind: LogDelete, RID: RID{Page: 3, Slot: 1}, Before: []byte("newer")},
+		{Txn: 7, Kind: LogCommit, RID: InvalidRID},
+	}
+	for i := range recs {
+		if _, err := w.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var got []LogRecord
+	if err := w2.Records(func(r LogRecord) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		want := recs[i]
+		if r.Txn != want.Txn || r.Kind != want.Kind || r.RID != want.RID ||
+			!bytes.Equal(r.Before, want.Before) || !bytes.Equal(r.After, want.After) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want)
+		}
+	}
+	if w2.NextLSN() != got[len(got)-1].LSN+1 {
+		t.Fatalf("NextLSN = %d, want %d", w2.NextLSN(), got[len(got)-1].LSN+1)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	w, path := openTestWAL(t)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(&LogRecord{Txn: 1, Kind: LogInsert, RID: RID{Page: 0, Slot: uint16(i)}, After: []byte("abc")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file by appending garbage (a torn final write).
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe})
+	f.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	n := 0
+	if err := w2.Records(func(LogRecord) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("after torn tail: %d records, want 5", n)
+	}
+	// Appending must still work after truncation of the tail.
+	if _, err := w2.Append(&LogRecord{Txn: 2, Kind: LogCommit, RID: InvalidRID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	if err := w2.Records(func(LogRecord) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("after append past torn tail: %d records, want 6", n)
+	}
+}
+
+func TestWALCorruptMiddleStopsScan(t *testing.T) {
+	w, path := openTestWAL(t)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append(&LogRecord{Txn: 1, Kind: LogInsert, RID: RID{Page: 0, Slot: uint16(i)}, After: []byte("abc")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	// Flip a byte inside the second record's payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	n := 0
+	w2.Records(func(LogRecord) { n++ })
+	if n >= 3 {
+		t.Fatalf("scan read %d records past corruption, want < 3", n)
+	}
+}
+
+func TestWALResetPreservesMonotoneLSN(t *testing.T) {
+	w, _ := openTestWAL(t)
+	defer w.Close()
+	var last uint64
+	for i := 0; i < 4; i++ {
+		last, _ = w.Append(&LogRecord{Txn: 1, Kind: LogInsert, RID: InvalidRID, After: []byte("x")})
+	}
+	if err := w.Reset(last); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	w.Records(func(LogRecord) { n++ })
+	if n != 0 {
+		t.Fatalf("after Reset: %d records, want 0", n)
+	}
+	lsn, _ := w.Append(&LogRecord{Txn: 2, Kind: LogBegin, RID: InvalidRID})
+	if lsn <= last {
+		t.Fatalf("post-reset LSN %d not > %d", lsn, last)
+	}
+}
+
+func TestLogKindString(t *testing.T) {
+	kinds := []LogKind{LogBegin, LogInsert, LogUpdate, LogDelete, LogCommit, LogAbort, LogCheckpoint}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("LogKind %d String() = %q (empty or duplicate)", k, s)
+		}
+		seen[s] = true
+	}
+	if LogKind(99).String() == "" {
+		t.Fatal("unknown LogKind has empty String()")
+	}
+}

@@ -1,0 +1,260 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LockMode is the strength of a lock request.
+type LockMode int
+
+// Lock modes.
+const (
+	LockShared LockMode = iota + 1
+	LockExclusive
+)
+
+// String implements fmt.Stringer.
+func (m LockMode) String() string {
+	if m == LockShared {
+		return "S"
+	}
+	return "X"
+}
+
+// lockTable is a strict two-phase lock manager with Moss-style rules
+// for nested transactions: a subtransaction may acquire a lock whose
+// conflicting holders are all its ancestors, and on subtransaction
+// commit its locks are inherited by the parent. Deadlocks are detected
+// eagerly on the waits-for graph; the requester that would close a
+// cycle receives ErrDeadlock.
+type lockTable struct {
+	mu    sync.Mutex
+	locks map[uint64]*lockState
+	// waitsFor maps a blocked transaction to the holders it waits on.
+	waitsFor map[*Txn]map[*Txn]bool
+	// held maps a transaction to the resources it holds.
+	held map[*Txn]map[uint64]LockMode
+}
+
+type lockState struct {
+	holders map[*Txn]LockMode
+	queue   []*lockWaiter
+}
+
+type lockWaiter struct {
+	t     *Txn
+	mode  LockMode
+	grant chan error
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{
+		locks:    make(map[uint64]*lockState),
+		waitsFor: make(map[*Txn]map[*Txn]bool),
+		held:     make(map[*Txn]map[uint64]LockMode),
+	}
+}
+
+// compatible reports whether t may be granted mode on ls.
+func (ls *lockState) compatible(t *Txn, mode LockMode) bool {
+	for h, hm := range ls.holders {
+		if h == t {
+			continue // upgrade handled by caller
+		}
+		if mode == LockShared && hm == LockShared {
+			continue
+		}
+		// Conflict unless the holder is an ancestor (closed nesting).
+		if !h.isAncestorOf(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (lt *lockTable) acquire(t *Txn, res uint64, mode LockMode) error {
+	lt.mu.Lock()
+	ls := lt.locks[res]
+	if ls == nil {
+		ls = &lockState{holders: make(map[*Txn]LockMode)}
+		lt.locks[res] = ls
+	}
+	// Already held at sufficient strength?
+	if hm, ok := ls.holders[t]; ok {
+		if hm == LockExclusive || mode == LockShared {
+			lt.mu.Unlock()
+			return nil
+		}
+		// Upgrade S→X: must wait for other non-ancestor holders to go.
+	}
+	if ls.compatible(t, mode) && (len(ls.queue) == 0 || ls.holders[t] != 0) {
+		lt.grantLocked(ls, t, res, mode)
+		lt.mu.Unlock()
+		return nil
+	}
+	// Must wait: record waits-for edges and check for a cycle.
+	blockers := make(map[*Txn]bool)
+	for h := range ls.holders {
+		if h != t && !h.isAncestorOf(t) {
+			blockers[h] = true
+		}
+	}
+	for _, w := range ls.queue {
+		if w.t != t {
+			blockers[w.t] = true
+		}
+	}
+	lt.waitsFor[t] = blockers
+	if lt.cycleFromLocked(t) {
+		delete(lt.waitsFor, t)
+		lt.mu.Unlock()
+		return fmt.Errorf("%w: txn %d requesting %v on %d", ErrDeadlock, t.id, mode, res)
+	}
+	w := &lockWaiter{t: t, mode: mode, grant: make(chan error, 1)}
+	ls.queue = append(ls.queue, w)
+	lt.mu.Unlock()
+
+	err := <-w.grant
+	return err
+}
+
+// grantLocked adds the grant to the state and bookkeeping.
+func (lt *lockTable) grantLocked(ls *lockState, t *Txn, res uint64, mode LockMode) {
+	if cur, ok := ls.holders[t]; !ok || mode > cur {
+		ls.holders[t] = mode
+	}
+	hr := lt.held[t]
+	if hr == nil {
+		hr = make(map[uint64]LockMode)
+		lt.held[t] = hr
+	}
+	if cur, ok := hr[res]; !ok || mode > cur {
+		hr[res] = mode
+	}
+	delete(lt.waitsFor, t)
+}
+
+// cycleFromLocked reports whether the waits-for graph reaches back to
+// start from start's blockers.
+func (lt *lockTable) cycleFromLocked(start *Txn) bool {
+	seen := make(map[*Txn]bool)
+	var dfs func(t *Txn) bool
+	dfs = func(t *Txn) bool {
+		if t == start {
+			return true
+		}
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		for next := range lt.waitsFor[t] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for b := range lt.waitsFor[start] {
+		if dfs(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseAll drops every lock held by t, fails t's queued requests,
+// and wakes compatible waiters.
+func (lt *lockTable) releaseAll(t *Txn) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	// Remove t from every wait queue: a transaction resolved by
+	// another goroutine must not be granted locks later.
+	for res, ls := range lt.locks {
+		for i := 0; i < len(ls.queue); {
+			if ls.queue[i].t == t {
+				w := ls.queue[i]
+				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+				w.grant <- ErrNotActive
+			} else {
+				i++
+			}
+		}
+		lt.wakeLocked(ls, res)
+	}
+	for res := range lt.held[t] {
+		ls := lt.locks[res]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, t)
+		lt.wakeLocked(ls, res)
+		if len(ls.holders) == 0 && len(ls.queue) == 0 {
+			delete(lt.locks, res)
+		}
+	}
+	delete(lt.held, t)
+	delete(lt.waitsFor, t)
+}
+
+// inherit transfers all locks held by child to parent (Moss rule on
+// subtransaction commit).
+func (lt *lockTable) inherit(child, parent *Txn) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for res, mode := range lt.held[child] {
+		ls := lt.locks[res]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, child)
+		if cur, ok := ls.holders[parent]; !ok || mode > cur {
+			ls.holders[parent] = mode
+		}
+		hr := lt.held[parent]
+		if hr == nil {
+			hr = make(map[uint64]LockMode)
+			lt.held[parent] = hr
+		}
+		if cur, ok := hr[res]; !ok || mode > cur {
+			hr[res] = mode
+		}
+		lt.wakeLocked(ls, res)
+	}
+	delete(lt.held, child)
+	delete(lt.waitsFor, child)
+}
+
+// wakeLocked grants queued requests that are now compatible, in FIFO
+// order, stopping at the first incompatible one.
+func (lt *lockTable) wakeLocked(ls *lockState, res uint64) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if w.t.Status() != Active {
+			ls.queue = ls.queue[1:]
+			delete(lt.waitsFor, w.t)
+			w.grant <- ErrNotActive
+			continue
+		}
+		if !ls.compatible(w.t, w.mode) {
+			return
+		}
+		ls.queue = ls.queue[1:]
+		lt.grantLocked(ls, w.t, res, w.mode)
+		w.grant <- nil
+	}
+}
+
+// heldModes reports the locks t currently holds (for tests and stats).
+func (lt *lockTable) heldModes(t *Txn) map[uint64]LockMode {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	out := make(map[uint64]LockMode, len(lt.held[t]))
+	for r, m := range lt.held[t] {
+		out[r] = m
+	}
+	return out
+}
+
+// Held reports the resources and modes t currently holds.
+func (t *Txn) Held() map[uint64]LockMode { return t.m.locks.heldModes(t) }

@@ -1,0 +1,302 @@
+package txn
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLockSharedCompatible(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	if err := a.Lock(1, LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(1, LockShared); err != nil {
+		t.Fatal(err)
+	}
+	a.Commit()
+	b.Commit()
+}
+
+func TestLockExclusiveBlocks(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	if err := a.Lock(1, LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- b.Lock(1, LockExclusive) }()
+	select {
+	case <-acquired:
+		t.Fatal("X lock granted while conflicting X held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Commit() // releases
+	if err := <-acquired; err != nil {
+		t.Fatal(err)
+	}
+	b.Commit()
+}
+
+func TestLockReentrant(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	if err := a.Lock(1, LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lock(1, LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lock(1, LockShared); err != nil {
+		t.Fatal(err) // weaker re-request is a no-op
+	}
+	a.Commit()
+}
+
+func TestLockUpgrade(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	a.Lock(1, LockShared)
+	b.Lock(1, LockShared)
+	upgraded := make(chan error, 1)
+	go func() { upgraded <- a.Lock(1, LockExclusive) }()
+	select {
+	case <-upgraded:
+		t.Fatal("upgrade granted while another S holder present")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Commit()
+	if err := <-upgraded; err != nil {
+		t.Fatal(err)
+	}
+	if a.Held()[1] != LockExclusive {
+		t.Fatalf("held mode = %v, want X", a.Held()[1])
+	}
+	a.Commit()
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	a.Lock(1, LockExclusive)
+	b.Lock(2, LockExclusive)
+
+	ch := make(chan error, 2)
+	go func() { ch <- a.Lock(2, LockExclusive) }()
+	time.Sleep(10 * time.Millisecond) // let a block first
+	err := b.Lock(1, LockExclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("second edge err = %v, want ErrDeadlock", err)
+	}
+	b.Abort() // victim aborts, releasing lock 2
+	if err := <-ch; err != nil {
+		t.Fatalf("survivor lock err = %v", err)
+	}
+	a.Commit()
+}
+
+func TestChildMayAcquireAncestorLock(t *testing.T) {
+	m := NewManager()
+	top := m.Begin()
+	if err := top.Lock(1, LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	child, _ := top.BeginChild()
+	if err := child.Lock(1, LockExclusive); err != nil {
+		t.Fatalf("child blocked on ancestor-held lock: %v", err)
+	}
+	child.Commit()
+	top.Commit()
+}
+
+func TestSiblingSubtransactionsConflict(t *testing.T) {
+	m := NewManager()
+	top := m.Begin()
+	c1, _ := top.BeginChild()
+	c2, _ := top.BeginChild()
+	if err := c1.Lock(1, LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- c2.Lock(1, LockExclusive) }()
+	select {
+	case <-got:
+		t.Fatal("sibling acquired conflicting lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// When c1 commits, its locks are inherited by top — an ancestor of
+	// c2 — so c2's request becomes grantable.
+	c1.Commit()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	c2.Commit()
+	top.Commit()
+}
+
+func TestLockInheritanceOnChildCommit(t *testing.T) {
+	m := NewManager()
+	top := m.Begin()
+	child, _ := top.BeginChild()
+	child.Lock(7, LockExclusive)
+	child.Commit()
+	if top.Held()[7] != LockExclusive {
+		t.Fatalf("parent did not inherit child's X lock: %v", top.Held())
+	}
+	// An outsider must still conflict.
+	out := m.Begin()
+	got := make(chan error, 1)
+	go func() { got <- out.Lock(7, LockShared) }()
+	select {
+	case <-got:
+		t.Fatal("outsider acquired inherited lock while top active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	top.Commit()
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	out.Commit()
+}
+
+func TestChildAbortReleasesItsLocks(t *testing.T) {
+	m := NewManager()
+	top := m.Begin()
+	child, _ := top.BeginChild()
+	child.Lock(9, LockExclusive)
+	child.Abort()
+	out := m.Begin()
+	if err := out.Lock(9, LockExclusive); err != nil {
+		t.Fatalf("lock held by aborted child not released: %v", err)
+	}
+	out.Commit()
+	top.Commit()
+}
+
+func TestAbortWhileWaitingFailsRequest(t *testing.T) {
+	m := NewManager()
+	holder := m.Begin()
+	holder.Lock(1, LockExclusive)
+	waiter := m.Begin()
+	got := make(chan error, 1)
+	go func() { got <- waiter.Lock(1, LockShared) }()
+	time.Sleep(10 * time.Millisecond)
+	waiter.Abort() // resolved by another goroutine while queued
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrNotActive) {
+			t.Fatalf("err = %v, want ErrNotActive", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued request of aborted txn never failed")
+	}
+	holder.Commit()
+}
+
+func TestLockAfterResolveFails(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	tx.Commit()
+	if err := tx.Lock(1, LockShared); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("err = %v, want ErrNotActive", err)
+	}
+}
+
+func TestLockFIFOFairness(t *testing.T) {
+	m := NewManager()
+	holder := m.Begin()
+	holder.Lock(1, LockExclusive)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	txs := make([]*Txn, 3)
+	for i := 0; i < 3; i++ {
+		txs[i] = m.Begin()
+	}
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := txs[i].Lock(1, LockExclusive); err != nil {
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			txs[i].Commit()
+		}()
+		time.Sleep(10 * time.Millisecond) // deterministic queue order
+	}
+	holder.Commit()
+	wg.Wait()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order = %v, want [0 1 2]", order)
+	}
+}
+
+// TestLockStress exercises many goroutines transferring "funds" between
+// locked accounts; the invariant is conservation of the total.
+func TestLockStress(t *testing.T) {
+	m := NewManager()
+	const accounts = 8
+	const workers = 16
+	const transfers = 50
+	balances := make([]int64, accounts)
+	for i := range balances {
+		balances[i] = 1000
+	}
+	var deadlocks atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				tx := m.Begin()
+				if err := tx.Lock(uint64(from), LockExclusive); err != nil {
+					deadlocks.Add(1)
+					tx.Abort()
+					continue
+				}
+				if err := tx.Lock(uint64(to), LockExclusive); err != nil {
+					deadlocks.Add(1)
+					tx.Abort()
+					continue
+				}
+				balances[from] -= 10
+				balances[to] += 10
+				tx.Commit()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("lock stress timed out (undetected deadlock)")
+	}
+	var total int64
+	for _, b := range balances {
+		total += b
+	}
+	if total != accounts*1000 {
+		t.Fatalf("total = %d, want %d (lost updates)", total, accounts*1000)
+	}
+	t.Logf("deadlocks detected and recovered: %d", deadlocks.Load())
+}
