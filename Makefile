@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test race vet all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...

@@ -4,7 +4,7 @@
 // and query with OQL — with every command's events flowing through
 // the integrated rule engine.
 //
-//	reachd -dir /tmp/plantdb
+//	reachd -dir /tmp/plantdb -admin localhost:7047
 //
 // Commands (one per line; 'help' lists them):
 //
@@ -16,13 +16,14 @@
 //	query select r from River r where r.level < 37
 //	index River level
 //	get Rhine level | set Rhine temp 26.5
-//	roots | classes | stats | history | quit
+//	roots | classes | stats [metrics|trace <n>] | history | quit
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,6 +34,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "storage directory (empty = in-memory)")
+	admin := flag.String("admin", "", "observability HTTP listen address, e.g. localhost:7047 (empty = disabled)")
 	flag.Parse()
 
 	sys, err := reach.Open(reach.Options{Dir: *dir})
@@ -41,21 +43,31 @@ func main() {
 		os.Exit(1)
 	}
 	defer sys.Close()
+	if *admin != "" {
+		srv, addr, err := sys.Admin().Serve(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reachd: admin:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /debug/pprof)\n", addr)
+	}
 	fmt.Println("REACH shell — an integrated active OODBMS. Type 'help'.")
-	repl(sys, bufio.NewScanner(os.Stdin))
+	repl(sys, os.Stdin, os.Stdout)
 }
 
-func repl(sys *reach.System, sc *bufio.Scanner) {
+func repl(sys *reach.System, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
 	var ruleBuf strings.Builder
 	inRule := false
 	for {
 		if inRule {
-			fmt.Print("... ")
+			fmt.Fprint(out, "... ")
 		} else {
-			fmt.Print("reach> ")
+			fmt.Fprint(out, "reach> ")
 		}
 		if !sc.Scan() {
-			fmt.Println()
+			fmt.Fprintln(out)
 			return
 		}
 		line := strings.TrimSpace(sc.Text())
@@ -65,9 +77,9 @@ func repl(sys *reach.System, sc *bufio.Scanner) {
 			if strings.HasSuffix(line, "};") {
 				inRule = false
 				if _, err := sys.LoadRules(ruleBuf.String()); err != nil {
-					fmt.Println("error:", err)
+					fmt.Fprintln(out, "error:", err)
 				} else {
-					fmt.Println("rule loaded")
+					fmt.Fprintln(out, "rule loaded")
 				}
 				ruleBuf.Reset()
 			}
@@ -82,27 +94,27 @@ func repl(sys *reach.System, sc *bufio.Scanner) {
 		case "quit", "exit":
 			return
 		case "help":
-			help()
+			help(out)
 		case "class":
-			if err := defineClass(sys, args); err != nil {
-				fmt.Println("error:", err)
+			if err := defineClass(sys, out, args); err != nil {
+				fmt.Fprintln(out, "error:", err)
 			}
 		case "new":
-			if err := newObject(sys, args); err != nil {
-				fmt.Println("error:", err)
+			if err := newObject(sys, out, args); err != nil {
+				fmt.Fprintln(out, "error:", err)
 			}
 		case "set", "get", "invoke", "delete":
-			if err := objectCmd(sys, cmd, args); err != nil {
-				fmt.Println("error:", err)
+			if err := objectCmd(sys, out, cmd, args); err != nil {
+				fmt.Fprintln(out, "error:", err)
 			}
 		case "rule":
 			rest := strings.TrimSpace(strings.TrimPrefix(line, "rule"))
 			ruleBuf.WriteString("rule " + rest + "\n")
 			if strings.HasSuffix(rest, "};") {
 				if _, err := sys.LoadRules(ruleBuf.String()); err != nil {
-					fmt.Println("error:", err)
+					fmt.Fprintln(out, "error:", err)
 				} else {
-					fmt.Println("rule loaded")
+					fmt.Fprintln(out, "rule loaded")
 				}
 				ruleBuf.Reset()
 			} else {
@@ -110,64 +122,103 @@ func repl(sys *reach.System, sc *bufio.Scanner) {
 			}
 		case "load":
 			if len(args) != 1 {
-				fmt.Println("usage: load <file>")
+				fmt.Fprintln(out, "usage: load <file>")
 				continue
 			}
 			src, err := os.ReadFile(args[0])
 			if err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintln(out, "error:", err)
 				continue
 			}
 			loaded, err := sys.LoadRules(string(src))
 			if err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			fmt.Printf("loaded %d rule(s)\n", len(loaded.Rules))
+			fmt.Fprintf(out, "loaded %d rule(s)\n", len(loaded.Rules))
 		case "query":
 			q := strings.TrimSpace(strings.TrimPrefix(line, "query"))
-			if err := runQuery(sys, q); err != nil {
-				fmt.Println("error:", err)
+			if err := runQuery(sys, out, q); err != nil {
+				fmt.Fprintln(out, "error:", err)
 			}
 		case "index":
 			if len(args) != 2 {
-				fmt.Println("usage: index <Class> <attr>")
+				fmt.Fprintln(out, "usage: index <Class> <attr>")
 				continue
 			}
 			if _, err := sys.Query.CreateIndex(args[0], args[1]); err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintln(out, "error:", err)
 			} else {
-				fmt.Printf("index on %s.%s created (maintained by ECA rules)\n", args[0], args[1])
+				fmt.Fprintf(out, "index on %s.%s created (maintained by ECA rules)\n", args[0], args[1])
 			}
 		case "roots":
 			for _, n := range sys.DB.RootNames() {
-				fmt.Println(" ", n)
+				fmt.Fprintln(out, " ", n)
 			}
 		case "classes":
 			for _, n := range sys.DB.Dictionary().Classes() {
-				fmt.Println(" ", n)
+				fmt.Fprintln(out, " ", n)
 			}
 		case "stats":
-			st := sys.Engine.Stats()
-			fmt.Printf("  events=%d immediate=%d deferred=%d detached=%d composites=%d\n",
-				st.Events, st.ImmediateFired, st.DeferredFired, st.DetachedFired, st.CompositesDetected)
-			useful, useless, pot := sys.Engine.Dispatcher().Stats()
-			fmt.Printf("  sentry overhead: useful=%d useless=%d potentially-useful=%d\n", useful, useless, pot)
-			ss := sys.DB.StorageStats()
-			fmt.Printf("  storage: pages=%d buffer hits/misses=%d/%d wal-syncs=%d\n",
-				ss.Pages, ss.BufferHits, ss.BufferMiss, ss.WALSyncs)
+			statsCmd(sys, out, args)
 		case "history":
 			for _, en := range sys.Engine.GlobalHistory() {
-				fmt.Printf("  #%d txn=%d %s\n", en.Seq, en.Txn, en.Key)
+				fmt.Fprintf(out, "  #%d txn=%d %s\n", en.Seq, en.Txn, en.Key)
 			}
 		default:
-			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+			fmt.Fprintf(out, "unknown command %q (try 'help')\n", cmd)
 		}
 	}
 }
 
-func help() {
-	fmt.Print(`  class <Name> <attr:type>...   define a monitored class (types: int float string bool ref)
+// statsCmd prints the summary counters, the full Prometheus exposition
+// ("stats metrics"), or recent lifecycle traces ("stats trace <n>").
+func statsCmd(sys *reach.System, out io.Writer, args []string) {
+	if len(args) == 0 {
+		st := sys.Engine.Stats()
+		fmt.Fprintf(out, "  events=%d immediate=%d deferred=%d detached=%d composites=%d\n",
+			st.Events, st.ImmediateFired, st.DeferredFired, st.DetachedFired, st.CompositesDetected)
+		useful, useless, pot := sys.Engine.Dispatcher().Stats()
+		fmt.Fprintf(out, "  sentry overhead: useful=%d useless=%d potentially-useful=%d\n", useful, useless, pot)
+		ss := sys.DB.StorageStats()
+		fmt.Fprintf(out, "  storage: pages=%d buffer hits/misses=%d/%d wal-syncs=%d\n",
+			ss.Pages, ss.BufferHits, ss.BufferMiss, ss.WALSyncs)
+		return
+	}
+	switch args[0] {
+	case "metrics":
+		if err := sys.Metrics.WritePrometheus(out); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	case "trace":
+		n := 5
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v <= 0 {
+				fmt.Fprintln(out, "usage: stats trace <n>")
+				return
+			}
+			n = v
+		}
+		traces := sys.Tracer.Recent(n)
+		if len(traces) == 0 {
+			fmt.Fprintln(out, "  (no traces yet)")
+			return
+		}
+		for _, tr := range traces {
+			fmt.Fprintf(out, "  trace %d root=%s spans=%d\n", tr.ID, tr.Root, len(tr.Spans))
+			for _, sp := range tr.Spans {
+				fmt.Fprintf(out, "    %-16s %-24s +%-12s %s\n",
+					sp.Stage, sp.Key, sp.Start.Sub(tr.Start), sp.Dur)
+			}
+		}
+	default:
+		fmt.Fprintln(out, "usage: stats [metrics | trace <n>]")
+	}
+}
+
+func help(out io.Writer) {
+	fmt.Fprint(out, `  class <Name> <attr:type>...   define a monitored class (types: int float string bool ref)
   new <Class> [as <root>]       create an object, optionally naming it
   get <root> <attr>             read an attribute
   set <root> <attr> <value>     write an attribute (raises a state-change event)
@@ -177,11 +228,14 @@ func help() {
   load <file>                   load a .rules file
   query select v from Class v [where ...]   OQL query
   index <Class> <attr>          create an ECA-maintained hash index
-  roots | classes | stats | history | quit
+  stats                         engine / sentry / storage counters
+  stats metrics                 full metric registry (Prometheus text)
+  stats trace <n>               last n event-lifecycle traces
+  roots | classes | history | quit
 `)
 }
 
-func defineClass(sys *reach.System, args []string) error {
+func defineClass(sys *reach.System, out io.Writer, args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: class <Name> <attr:type>...")
 	}
@@ -225,11 +279,11 @@ func defineClass(sys *reach.System, args []string) error {
 	if err := sys.RegisterClass(cls); err != nil {
 		return err
 	}
-	fmt.Printf("class %s registered (monitored, %d update methods)\n", name, len(attrs))
+	fmt.Fprintf(out, "class %s registered (monitored, %d update methods)\n", name, len(attrs))
 	return nil
 }
 
-func newObject(sys *reach.System, args []string) error {
+func newObject(sys *reach.System, out io.Writer, args []string) error {
 	if len(args) != 1 && !(len(args) == 3 && args[1] == "as") {
 		return fmt.Errorf("usage: new <Class> [as <root>]")
 	}
@@ -248,11 +302,11 @@ func newObject(sys *reach.System, args []string) error {
 	if err := tx.Commit(); err != nil {
 		return err
 	}
-	fmt.Printf("created %v\n", obj)
+	fmt.Fprintf(out, "created %v\n", obj)
 	return nil
 }
 
-func objectCmd(sys *reach.System, cmd string, args []string) error {
+func objectCmd(sys *reach.System, out io.Writer, cmd string, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: %s <root> ...", cmd)
 	}
@@ -273,7 +327,7 @@ func objectCmd(sys *reach.System, cmd string, args []string) error {
 			tx.Abort()
 			return err
 		}
-		fmt.Printf("%v\n", v)
+		fmt.Fprintf(out, "%v\n", v)
 	case "set":
 		if len(args) != 3 {
 			tx.Abort()
@@ -298,7 +352,7 @@ func objectCmd(sys *reach.System, cmd string, args []string) error {
 			return err
 		}
 		if res != nil {
-			fmt.Printf("-> %v\n", res)
+			fmt.Fprintf(out, "-> %v\n", res)
 		}
 	case "delete":
 		if err := sys.DB.Delete(tx, obj); err != nil {
@@ -309,7 +363,7 @@ func objectCmd(sys *reach.System, cmd string, args []string) error {
 	return tx.Commit()
 }
 
-func runQuery(sys *reach.System, q string) error {
+func runQuery(sys *reach.System, out io.Writer, q string) error {
 	tx := sys.Begin()
 	defer tx.Commit()
 	objs, err := sys.Query.OQL(tx, q)
@@ -317,17 +371,17 @@ func runQuery(sys *reach.System, q string) error {
 		return err
 	}
 	for _, obj := range objs {
-		fmt.Printf("  %v {", obj)
+		fmt.Fprintf(out, "  %v {", obj)
 		for i, a := range obj.Class().Attrs() {
 			v, _ := sys.DB.Get(tx, obj, a.Name)
 			if i > 0 {
-				fmt.Print(", ")
+				fmt.Fprint(out, ", ")
 			}
-			fmt.Printf("%s: %v", a.Name, v)
+			fmt.Fprintf(out, "%s: %v", a.Name, v)
 		}
-		fmt.Println("}")
+		fmt.Fprintln(out, "}")
 	}
-	fmt.Printf("  (%d object(s))\n", len(objs))
+	fmt.Fprintf(out, "  (%d object(s))\n", len(objs))
 	return nil
 }
 

@@ -8,6 +8,7 @@ package core
 import (
 	"repro/internal/clock"
 	"repro/internal/eca"
+	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/query"
 	"repro/internal/rules"
@@ -31,10 +32,19 @@ type System struct {
 	DB     *oodb.DB
 	Engine *eca.Engine
 	Query  *query.Processor
+	// Metrics is the registry every subsystem (sentry, engine,
+	// transaction manager, storage) binds its counters into.
+	Metrics *obs.Registry
+	// Tracer retains recent event-lifecycle traces.
+	Tracer *obs.Tracer
 }
 
 // Open assembles and returns a System.
 func Open(opts Options) (*System, error) {
+	reg := opts.Engine.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	dbOpts := opts.DB
 	if opts.Dir != "" {
 		dbOpts.Dir = opts.Dir
@@ -42,16 +52,39 @@ func Open(opts Options) (*System, error) {
 	if opts.Clock != nil {
 		dbOpts.Clock = opts.Clock
 	}
+	dbOpts.Storage.Metrics = reg
 	db, err := oodb.Open(dbOpts)
 	if err != nil {
 		return nil, err
 	}
-	engine := eca.New(db, opts.Engine)
+	engineOpts := opts.Engine
+	engineOpts.Metrics = reg
+	engine := eca.New(db, engineOpts)
 	return &System{
-		DB:     db,
-		Engine: engine,
-		Query:  query.New(db, engine),
+		DB:      db,
+		Engine:  engine,
+		Query:   query.New(db, engine),
+		Metrics: reg,
+		Tracer:  engine.Tracer(),
 	}, nil
+}
+
+// Admin returns the HTTP observability surface over the system's
+// registry and tracer, with a JSON system view contributed by the
+// engine, sentry, and storage stats.
+func (s *System) Admin() *obs.Admin {
+	return obs.NewAdmin(s.Metrics, s.Tracer, func() any {
+		useful, useless, potential := s.Engine.Dispatcher().Stats()
+		return map[string]any{
+			"engine": s.Engine.Stats(),
+			"sentry": map[string]uint64{
+				"useful":    useful,
+				"useless":   useless,
+				"potential": potential,
+			},
+			"storage": s.DB.StorageStats(),
+		}
+	})
 }
 
 // Begin starts a top-level transaction.

@@ -3,6 +3,7 @@ package eca
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/event"
@@ -138,17 +139,34 @@ func (cm *compositeMgr) deliver(in *event.Instance) {
 	cm.mu.Unlock()
 	if stall {
 		msg := compMsg{in: in, ack: make(chan struct{})}
-		select {
-		case cm.in <- msg:
+		if cm.send(msg) {
 			<-msg.ack
-		case <-cm.closed:
 		}
 		return
 	}
+	cm.send(compMsg{in: in})
+}
+
+// send enqueues one message on the composer channel, counting the
+// stall when the channel is full (back pressure that was previously
+// invisible) and sampling the queue depth. It reports false when the
+// composer shut down instead of accepting the message.
+func (cm *compositeMgr) send(msg compMsg) bool {
+	met := &cm.engine.met
 	select {
-	case cm.in <- compMsg{in: in}:
-	case <-cm.closed:
+	case cm.in <- msg:
+	default:
+		met.backpressure.Inc()
+		select {
+		case cm.in <- msg:
+		case <-cm.closed:
+			return false
+		}
 	}
+	depth := int64(len(cm.in))
+	met.queueDepth.Set(depth)
+	met.queueHigh.SetMax(depth)
+	return true
 }
 
 // loop is the asynchronous composer goroutine.
@@ -198,7 +216,7 @@ func (cm *compositeMgr) process(msg compMsg) {
 			completions = cm.global.Feed(msg.in)
 		}
 		cm.mu.Unlock()
-		cm.engine.handleCompletions(cm, completions)
+		cm.finish(completions, msg.in, now)
 
 	case msg.flushTxn != 0:
 		cm.mu.Lock()
@@ -207,7 +225,7 @@ func (cm *compositeMgr) process(msg compMsg) {
 		cm.mu.Unlock()
 		if cp != nil {
 			completions := cp.Flush(now)
-			cm.engine.handleCompletions(cm, completions)
+			cm.finish(completions, nil, now)
 		}
 
 	case msg.discardTxn != 0:
@@ -216,10 +234,44 @@ func (cm *compositeMgr) process(msg compMsg) {
 		delete(cm.perTxn, msg.discardTxn)
 		cm.mu.Unlock()
 		if cp != nil {
-			cm.engine.stGCed.Add(uint64(cp.Pending()))
+			cm.engine.met.gced.Add(uint64(cp.Pending()))
 			cp.Reset()
 		}
 	}
+}
+
+// finish stamps completed composite instances with the lifecycle
+// trace they belong to — the completing constituent's trace — records
+// the compose stage, and hands them to the engine.
+func (cm *compositeMgr) finish(completions []*event.Instance, from *event.Instance, start time.Time) {
+	if len(completions) == 0 {
+		return
+	}
+	e := cm.engine
+	for _, comp := range completions {
+		if comp.Trace == 0 {
+			if from != nil && from.Trace != 0 {
+				comp.Trace = from.Trace
+			} else {
+				comp.Trace = inheritTrace(comp)
+			}
+		}
+		e.span(comp.Trace, "compose", cm.decl.Name, start)
+	}
+	e.handleCompletions(cm, completions)
+}
+
+// inheritTrace returns the trace of the most recent traced
+// constituent, so one trace follows the event from primitive
+// detection through composition to rule execution.
+func inheritTrace(comp *event.Instance) uint64 {
+	prims := comp.Flatten()
+	for i := len(prims) - 1; i >= 0; i-- {
+		if prims[i].Trace != 0 {
+			return prims[i].Trace
+		}
+	}
+	return 0
 }
 
 // flushTxn ends (or discards) the per-transaction composition for a
@@ -247,7 +299,7 @@ func (cm *compositeMgr) flushTxn(id uint64, discard bool) {
 // propagate further into composites-of-composites.
 func (e *Engine) handleCompletions(cm *compositeMgr, completions []*event.Instance) {
 	for _, comp := range completions {
-		e.stComposite.Add(1)
+		e.met.composites.Inc()
 		if comp.Seq == 0 {
 			comp.Seq = e.seq.Add(1)
 		}
@@ -279,7 +331,7 @@ func (e *Engine) GCExpired() int {
 		}
 		cm.mu.Unlock()
 	}
-	e.stGCed.Add(uint64(total))
+	e.met.gced.Add(uint64(total))
 	return total
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/event"
 	"repro/internal/txn"
@@ -21,7 +22,8 @@ type deferredQueue struct {
 type deferredEntry struct {
 	rule       *Rule
 	in         *event.Instance
-	actionOnly bool // condition already evaluated (imm/def split)
+	at         time.Time // enqueue time; the queue-wait span
+	actionOnly bool      // condition already evaluated (imm/def split)
 }
 
 func (e *Engine) deferredQueue(top *txn.Txn) *deferredQueue {
@@ -38,7 +40,7 @@ func (e *Engine) deferredQueue(top *txn.Txn) *deferredQueue {
 func (e *Engine) enqueueDeferred(top *txn.Txn, r *Rule, in *event.Instance) {
 	q := e.deferredQueue(top)
 	q.mu.Lock()
-	q.entries = append(q.entries, deferredEntry{rule: r, in: in})
+	q.entries = append(q.entries, deferredEntry{rule: r, in: in, at: e.clk.Now()})
 	q.mu.Unlock()
 }
 
@@ -47,7 +49,7 @@ func (e *Engine) enqueueDeferred(top *txn.Txn, r *Rule, in *event.Instance) {
 func (e *Engine) enqueueDeferredAction(top *txn.Txn, r *Rule, in *event.Instance) {
 	q := e.deferredQueue(top)
 	q.mu.Lock()
-	q.entries = append(q.entries, deferredEntry{rule: r, in: in, actionOnly: true})
+	q.entries = append(q.entries, deferredEntry{rule: r, in: in, at: e.clk.Now(), actionOnly: true})
 	q.mu.Unlock()
 }
 
@@ -73,7 +75,8 @@ func (e *Engine) runDeferred(top *txn.Txn) error {
 		if len(batch) == 0 {
 			return nil
 		}
-		e.stRounds.Add(1)
+		e.met.rounds.Inc()
+		e.met.roundDepth.SetMax(int64(round + 1))
 		e.orderDeferred(batch)
 		if err := e.runDeferredBatch(top, batch); err != nil {
 			return err
@@ -99,18 +102,26 @@ func (e *Engine) orderDeferred(batch []deferredEntry) {
 
 func (e *Engine) runDeferredBatch(top *txn.Txn, batch []deferredEntry) error {
 	run := func(entry deferredEntry) error {
+		// The queue-wait span: enqueue (during the transaction) to
+		// dequeue (EOT processing).
+		e.span(entry.in.Trace, "enqueue-deferred", entry.rule.Name, entry.at)
 		child, err := top.BeginChild()
 		if err != nil {
 			return fmt.Errorf("eca: deferred rule %s: %w", entry.rule.Name, err)
 		}
-		e.stDeferred.Add(1)
+		e.met.firedDeferred.Inc()
+		start := e.clk.Now()
+		defer func() { e.met.latDeferred.Observe(e.clk.Now().Sub(start)) }()
 		if entry.actionOnly {
 			rc := &RuleCtx{Engine: e, DB: e.db, Txn: child, Trigger: entry.in}
-			if err := entry.rule.Action(rc); err != nil {
-				child.AbortWith(err)
+			as := e.clk.Now()
+			err := entry.rule.Action(rc)
+			e.span(entry.in.Trace, "action-exec", entry.rule.Name, as)
+			if err != nil {
+				e.abortRuleTxn(child, entry.rule, entry.in, err)
 				return fmt.Errorf("eca: deferred rule %s action: %w", entry.rule.Name, err)
 			}
-			return child.Commit()
+			return e.commitRuleTxn(child, entry.rule, entry.in)
 		}
 		return e.runRuleIn(child, entry.rule, entry.in)
 	}
@@ -153,7 +164,7 @@ func (e *Engine) spawnDetached(r *Rule, in *event.Instance) {
 	for id := range txns {
 		ids = append(ids, id)
 	}
-	e.stDetached.Add(1)
+	e.met.firedDetached.Inc()
 
 	var t *txn.Txn
 	var abortErr error
@@ -207,7 +218,9 @@ func (e *Engine) spawnDetached(r *Rule, in *event.Instance) {
 		}
 		// Errors are recorded on the rule transaction; a detached rule
 		// failure never affects the triggering transaction.
+		start := e.clk.Now()
 		e.runRuleIn(t, r, in)
+		e.met.latDetached.Observe(e.clk.Now().Sub(start))
 	}()
 }
 

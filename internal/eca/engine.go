@@ -6,10 +6,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/clock"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/sentry"
 	"repro/internal/txn"
@@ -77,6 +79,14 @@ type Options struct {
 	// acknowledged that no immediately-coupled composite completed.
 	// It exists so the cost the paper refuses to pay can be measured.
 	AllowUnsafeImmediateComposite bool
+	// Metrics is the shared observability registry the engine binds
+	// its counters into; nil creates a private registry.
+	Metrics *obs.Registry
+	// Tracer records event-lifecycle traces; nil creates a private
+	// tracer retaining TraceCapacity traces.
+	Tracer *obs.Tracer
+	// TraceCapacity bounds the private tracer's ring (default 256).
+	TraceCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -95,7 +105,8 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats are cumulative engine counters.
+// Stats are cumulative engine counters. They are a view over the
+// engine's metric registry — the same numbers /metrics exposes.
 type Stats struct {
 	Events             uint64
 	ImmediateFired     uint64
@@ -104,6 +115,56 @@ type Stats struct {
 	CompositesDetected uint64
 	SemiComposedGCed   uint64
 	DeferredRounds     uint64
+}
+
+// engineMetrics are the engine's registry-bound handles, resolved
+// once at construction so the hot paths touch only atomics.
+type engineMetrics struct {
+	events       *obs.Counter
+	composites   *obs.Counter
+	gced         *obs.Counter
+	rounds       *obs.Counter
+	roundDepth   *obs.Gauge
+	queueDepth   *obs.Gauge
+	queueHigh    *obs.Gauge
+	backpressure *obs.Counter
+
+	firedImmediate *obs.Counter
+	firedDeferred  *obs.Counter
+	firedDetached  *obs.Counter
+	latImmediate   *obs.Histogram
+	latDeferred    *obs.Histogram
+	latDetached    *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	const fired = "reach_rules_fired_total"
+	const firedHelp = "Rules fired, by coupling mode."
+	const lat = "reach_rule_latency_seconds"
+	const latHelp = "Rule execution latency (condition + action + commit), by coupling mode."
+	return engineMetrics{
+		events: reg.Counter("reach_events_total", "Event instances consumed by the engine."),
+		composites: reg.Counter("reach_composites_detected_total",
+			"Composite event completions."),
+		gced: reg.Counter("reach_semicomposed_gced_total",
+			"Semi-composed occurrences discarded on abort or validity expiry."),
+		rounds: reg.Counter("reach_deferred_rounds_total",
+			"Deferred execution rounds run at EOT."),
+		roundDepth: reg.Gauge("reach_deferred_round_depth",
+			"High-water mark of cascading deferred rounds in one EOT."),
+		queueDepth: reg.Gauge("reach_composer_queue_depth",
+			"Async composer channel depth at last delivery."),
+		queueHigh: reg.Gauge("reach_composer_queue_highwater",
+			"High-water mark of async composer channel depth."),
+		backpressure: reg.Counter("reach_composer_backpressure_total",
+			"Deliveries that found a composer channel full and stalled."),
+		firedImmediate: reg.Counter(fired, firedHelp, "mode", "immediate"),
+		firedDeferred:  reg.Counter(fired, firedHelp, "mode", "deferred"),
+		firedDetached:  reg.Counter(fired, firedHelp, "mode", "detached"),
+		latImmediate:   reg.Histogram(lat, latHelp, "mode", "immediate"),
+		latDeferred:    reg.Histogram(lat, latHelp, "mode", "deferred"),
+		latDetached:    reg.Histogram(lat, latHelp, "mode", "detached"),
+	}
 }
 
 // Engine is the REACH rule engine: a registry of ECA managers wired
@@ -131,13 +192,9 @@ type Engine struct {
 	detachedWG sync.WaitGroup
 	closed     atomic.Bool
 
-	stEvents    atomic.Uint64
-	stImmediate atomic.Uint64
-	stDeferred  atomic.Uint64
-	stDetached  atomic.Uint64
-	stComposite atomic.Uint64
-	stGCed      atomic.Uint64
-	stRounds    atomic.Uint64
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	met    engineMetrics
 }
 
 // New creates an engine over db, wires it as the database's event
@@ -145,6 +202,14 @@ type Engine struct {
 // listener, and returns it.
 func New(db *oodb.DB, opts Options) *Engine {
 	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(opts.TraceCapacity)
+	}
 	e := &Engine{
 		db:           db,
 		clk:          db.Clock(),
@@ -154,11 +219,32 @@ func New(db *oodb.DB, opts Options) *Engine {
 		activeTxns:   make(map[uint64]*txn.Txn),
 		resolvedTxns: make(map[uint64]txn.Status),
 		hist:         newGlobalHistory(opts.GlobalHistorySize),
+		reg:          reg,
+		tracer:       tracer,
+		met:          newEngineMetrics(reg),
 	}
 	e.disp = sentry.New(sentry.ConsumerFunc(e.Consume))
+	e.disp.Instrument(reg, tracer, e.clk.Now)
+	db.TxnManager().Instrument(reg)
 	db.SetSink(e.disp)
 	db.TxnManager().SetListener((*txnListener)(e))
 	return e
+}
+
+// Metrics exposes the engine's metric registry — the one shared with
+// the sentry dispatcher and the transaction manager.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// Tracer exposes the engine's event-lifecycle tracer.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// span records one lifecycle stage on a trace; a zero trace ID is a
+// no-op so untraced paths stay free.
+func (e *Engine) span(traceID uint64, stage, key string, start time.Time) {
+	if traceID == 0 {
+		return
+	}
+	e.tracer.Span(traceID, stage, key, start, e.clk.Now().Sub(start))
 }
 
 // Dispatcher exposes the sentry dispatcher (for overhead stats and
@@ -171,14 +257,26 @@ func (e *Engine) DB() *oodb.DB { return e.db }
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Events:             e.stEvents.Load(),
-		ImmediateFired:     e.stImmediate.Load(),
-		DeferredFired:      e.stDeferred.Load(),
-		DetachedFired:      e.stDetached.Load(),
-		CompositesDetected: e.stComposite.Load(),
-		SemiComposedGCed:   e.stGCed.Load(),
-		DeferredRounds:     e.stRounds.Load(),
+		Events:             e.met.events.Value(),
+		ImmediateFired:     e.met.firedImmediate.Value(),
+		DeferredFired:      e.met.firedDeferred.Value(),
+		DetachedFired:      e.met.firedDetached.Value(),
+		CompositesDetected: e.met.composites.Value(),
+		SemiComposedGCed:   e.met.gced.Value(),
+		DeferredRounds:     e.met.rounds.Value(),
 	}
+}
+
+// ResetStats zeroes the engine counters (the registry series backing
+// Stats; histograms and gauges are left alone).
+func (e *Engine) ResetStats() {
+	e.met.events.Reset()
+	e.met.firedImmediate.Reset()
+	e.met.firedDeferred.Reset()
+	e.met.firedDetached.Reset()
+	e.met.composites.Reset()
+	e.met.gced.Reset()
+	e.met.rounds.Reset()
 }
 
 // Manager is an ECA-manager: it is dedicated to one event type, knows
@@ -378,7 +476,7 @@ func (e *Engine) txnOutcome(id uint64) (live *txn.Txn, st txn.Status, known bool
 // value is the go-ahead signal: an error from an immediate rule vetoes
 // the operation.
 func (e *Engine) Consume(in *event.Instance) error {
-	e.stEvents.Add(1)
+	e.met.events.Inc()
 	if in.Seq == 0 {
 		in.Seq = e.seq.Add(1)
 	}
@@ -389,10 +487,17 @@ func (e *Engine) Consume(in *event.Instance) error {
 	if m == nil {
 		return nil
 	}
+	if in.Trace == 0 {
+		// Flow-control and temporal events enter here without passing
+		// the sentry dispatcher; mint their trace at the engine door.
+		in.Trace = e.tracer.Begin(in.SpecKey, e.clk.Now())
+	}
+	start := e.clk.Now()
 	e.record(m, in)
 	trigger := e.trigger(in)
 	err := e.fireRules(m, in, trigger)
 	e.propagate(m, in)
+	e.span(in.Trace, "detect", in.SpecKey, start)
 	return err
 }
 
@@ -440,8 +545,11 @@ func (e *Engine) fireRules(m *Manager, in *event.Instance, trigger *txn.Txn) err
 	if len(immediate) == 0 {
 		return nil
 	}
-	e.stImmediate.Add(uint64(len(immediate)))
-	return e.runRuleSet(immediate, in, trigger)
+	e.met.firedImmediate.Add(uint64(len(immediate)))
+	start := e.clk.Now()
+	err := e.runRuleSet(immediate, in, trigger)
+	e.met.latImmediate.Observe(e.clk.Now().Sub(start))
+	return err
 }
 
 // runRuleSet executes rules triggered by the same event, sequentially
@@ -514,27 +622,49 @@ func (e *Engine) runRuleIn(t *txn.Txn, r *Rule, in *event.Instance) error {
 	ok := true
 	var err error
 	if r.Cond != nil {
+		cs := e.clk.Now()
 		ok, err = r.Cond(rc)
+		e.span(in.Trace, "condition-eval", r.Name, cs)
 		if err != nil {
-			t.AbortWith(err)
+			e.abortRuleTxn(t, r, in, err)
 			return fmt.Errorf("eca: rule %s condition: %w", r.Name, err)
 		}
 	}
 	if !ok {
-		return t.Commit() // condition false: nothing to do
+		return e.commitRuleTxn(t, r, in) // condition false: nothing to do
 	}
 	if r.condMode() == Immediate && r.ActionMode == Deferred {
 		// E-C immediate, C-A deferred: the action is queued for EOT.
 		top := t.Top()
-		if err := t.Commit(); err != nil {
+		if err := e.commitRuleTxn(t, r, in); err != nil {
 			return err
 		}
 		e.enqueueDeferredAction(top, r, in)
 		return nil
 	}
-	if err := r.Action(rc); err != nil {
-		t.AbortWith(err)
+	as := e.clk.Now()
+	err = r.Action(rc)
+	e.span(in.Trace, "action-exec", r.Name, as)
+	if err != nil {
+		e.abortRuleTxn(t, r, in, err)
 		return fmt.Errorf("eca: rule %s action: %w", r.Name, err)
 	}
-	return t.Commit()
+	return e.commitRuleTxn(t, r, in)
+}
+
+// commitRuleTxn commits a rule transaction, recording the commit
+// stage on the triggering event's trace.
+func (e *Engine) commitRuleTxn(t *txn.Txn, r *Rule, in *event.Instance) error {
+	start := e.clk.Now()
+	err := t.Commit()
+	e.span(in.Trace, "commit", r.Name, start)
+	return err
+}
+
+// abortRuleTxn aborts a rule transaction with cause, recording the
+// abort stage on the triggering event's trace.
+func (e *Engine) abortRuleTxn(t *txn.Txn, r *Rule, in *event.Instance, cause error) {
+	start := e.clk.Now()
+	t.AbortWith(cause)
+	e.span(in.Trace, "abort", r.Name, start)
 }

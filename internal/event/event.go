@@ -214,6 +214,12 @@ type Instance struct {
 	Result  any
 	Parts   []*Instance // constituents, for composite instances
 
+	// Trace is the lifecycle trace the occurrence belongs to, minted
+	// by the sentry dispatcher at detection time and inherited by
+	// composite instances from their completing constituent. Zero
+	// means untraced.
+	Trace uint64
+
 	// Origin is the live transaction handle the event was raised in
 	// (when any). It lets the rule engine start immediate rules as
 	// subtransactions of the exact transaction — possibly itself a

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Admin is the HTTP observability surface: Prometheus metrics, a JSON
+// stats view, recent traces, and the stdlib profiler. It is opt-in —
+// a system without an admin listener pays nothing for it.
+type Admin struct {
+	reg    *Registry
+	tracer *Tracer
+	// system, when set, contributes subsystem snapshots (engine
+	// stats, storage stats, ...) to /stats.
+	system func() any
+}
+
+// NewAdmin builds an admin surface over a registry and tracer; system
+// may be nil.
+func NewAdmin(reg *Registry, tracer *Tracer, system func() any) *Admin {
+	return &Admin{reg: reg, tracer: tracer, system: system}
+}
+
+// Mux returns the admin handler:
+//
+//	/metrics        Prometheus text exposition
+//	/stats          JSON metrics snapshot (+ system view)
+//	/traces?n=20    recent event-lifecycle traces, newest first
+//	/debug/pprof/   stdlib profiler
+func (a *Admin) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/stats", a.handleStats)
+	mux.HandleFunc("/traces", a.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.reg.WritePrometheus(w)
+}
+
+func (a *Admin) handleStats(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Time    time.Time        `json:"time"`
+		System  any              `json:"system,omitempty"`
+		Metrics []FamilySnapshot `json:"metrics"`
+	}{Time: time.Now(), Metrics: a.reg.Snapshot()}
+	if a.system != nil {
+		out.System = a.system()
+	}
+	writeJSON(w, out)
+}
+
+func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	traces := a.tracer.Recent(n)
+	if traces == nil {
+		traces = []Trace{}
+	}
+	writeJSON(w, traces)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Serve starts the admin server on addr and returns it along with the
+// bound address (useful with ":0"). The server runs until Close.
+func (a *Admin) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: a.Mux()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

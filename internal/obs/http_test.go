@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func adminFixture() *Admin {
+	reg := NewRegistry()
+	reg.Counter("reach_events_total", "events consumed").Add(5)
+	reg.Histogram("reach_rule_latency_seconds", "", "mode", "immediate").Observe(time.Millisecond)
+	tr := NewTracer(8)
+	id := tr.Begin("event:update", time.Date(1995, 3, 6, 0, 0, 0, 0, time.UTC))
+	tr.Span(id, "detect", "event:update", time.Date(1995, 3, 6, 0, 0, 0, 0, time.UTC), time.Millisecond)
+	return NewAdmin(reg, tr, func() any { return map[string]int{"objects": 3} })
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d", path, rec.Code)
+	}
+	return rec, rec.Body.String()
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	a := adminFixture()
+	rec, body := get(t, a.Mux(), "/metrics")
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE reach_events_total counter",
+		"reach_events_total 5",
+		`reach_rule_latency_seconds_bucket{mode="immediate",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestAdminStatsEndpoint(t *testing.T) {
+	a := adminFixture()
+	_, body := get(t, a.Mux(), "/stats")
+	var out struct {
+		Time    time.Time        `json:"time"`
+		System  map[string]int   `json:"system"`
+		Metrics []FamilySnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/stats not JSON: %v\n%s", err, body)
+	}
+	if out.System["objects"] != 3 || len(out.Metrics) != 2 {
+		t.Fatalf("stats = %+v", out)
+	}
+}
+
+func TestAdminTracesEndpoint(t *testing.T) {
+	a := adminFixture()
+	_, body := get(t, a.Mux(), "/traces?n=5")
+	var traces []Trace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/traces not JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].Spans[0].Stage != "detect" {
+		t.Fatalf("traces = %+v", traces)
+	}
+	// Empty ring still returns a JSON array, not null.
+	empty := NewAdmin(NewRegistry(), NewTracer(2), nil)
+	_, body = get(t, empty.Mux(), "/traces")
+	if strings.TrimSpace(body) == "null" {
+		t.Fatal("/traces rendered null for an empty ring")
+	}
+}
+
+func TestAdminPprofWired(t *testing.T) {
+	a := adminFixture()
+	_, body := get(t, a.Mux(), "/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index missing: %s", body)
+	}
+}
+
+func TestAdminServe(t *testing.T) {
+	a := adminFixture()
+	srv, addr, err := a.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "reach_events_total") {
+		t.Fatalf("served /metrics = %d: %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,195 @@
+// Package obs is the observability layer of the reproduction: a
+// dependency-free metrics registry (counters, gauges, log-bucketed
+// latency histograms), an event-lifecycle tracer, and an HTTP admin
+// surface exposing both.
+//
+// The paper's empirical claims — sentry overhead classes (§5),
+// history-consolidation cost (§6.3), the latency price of each
+// coupling mode (Table 1, §6.4) — are only testable against a running
+// system if the pipeline can be measured end to end. Every subsystem
+// (sentry, engine, transaction manager, storage) registers its
+// counters here instead of keeping private atomics, so one snapshot
+// is the whole story.
+//
+// All metric primitives are safe for concurrent use and their zero
+// values are usable: a subsystem can allocate standalone handles with
+// new and later have them replaced by registry-bound ones at wiring
+// time.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. Reset exists only to
+// preserve the ResetStats semantics of the pre-registry Stats APIs.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous signed value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v if v is larger — high-water-mark
+// semantics.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
+// histBuckets is the number of power-of-two buckets. Bucket i counts
+// observations v with 2^i <= v < 2^(i+1) (bucket 0 additionally takes
+// v <= 1), in nanoseconds: bucket 0 is ~1ns, bucket 47 ~39 hours.
+const histBuckets = 48
+
+// Histogram is a log2-bucketed histogram of durations. Observations
+// are lock-free atomic increments; snapshots are mergeable and
+// support quantile estimation.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(ns))
+	h.buckets[bucketOf(ns)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram,
+// mergeable with others (e.g. across shards or processes).
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64 // nanoseconds
+	Buckets [histBuckets]uint64
+}
+
+// Merge adds other into s.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// bucketBounds returns the [lo, hi) nanosecond range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 2
+	}
+	return float64(uint64(1) << uint(i)), float64(uint64(1) << uint(i+1))
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in nanoseconds by
+// linear interpolation within the containing bucket. It returns 0 for
+// an empty histogram.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	lo, hi := bucketBounds(histBuckets - 1)
+	_ = lo
+	return hi
+}
+
+// Mean returns the average observation in nanoseconds.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates registry families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry is a process-wide collection of named metrics. A metric
+// family is one name with one kind; within a family, series are
+// distinguished by label pairs. Lookups are memoized: asking for the
+// same (name, labels) twice returns the same handle, so subsystems
+// resolve their handles once at wiring time and the hot path touches
+// only atomics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series // key: rendered label string
+}
+
+type series struct {
+	labels string // `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels turns alternating key, value pairs into a canonical
+// Prometheus label string. Pairs are sorted by key.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// seriesFor returns (creating if needed) the series of a family,
+// enforcing kind consistency.
+func (r *Registry) seriesFor(name, help string, kind metricKind, labels []string) *series {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		switch kind {
+		case kindCounter:
+			s.c = new(Counter)
+		case kindGauge:
+			s.g = new(Gauge)
+		case kindHistogram:
+			s.h = new(Histogram)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter series for name and label pairs,
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.seriesFor(name, help, kindCounter, labels).c
+}
+
+// Gauge returns the gauge series for name and label pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.seriesFor(name, help, kindGauge, labels).g
+}
+
+// Histogram returns the histogram series for name and label pairs.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.seriesFor(name, help, kindHistogram, labels).h
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4). Histogram buckets are emitted as
+// cumulative counts with `le` bounds in seconds; empty leading and
+// trailing buckets are elided.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case kindCounter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value()); err != nil {
+					return err
+				}
+			case kindGauge:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.g.Value()); err != nil {
+					return err
+				}
+			case kindHistogram:
+				if err := writePromHistogram(w, f.name, s.labels, s.h.Snapshot()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram series: cumulative buckets,
+// _sum (seconds) and _count.
+func writePromHistogram(w io.Writer, name, labels string, snap HistogramSnapshot) error {
+	// Find the occupied bucket range so the output stays readable.
+	lo, hi := -1, -1
+	for i, n := range snap.Buckets {
+		if n > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	var cum uint64
+	if lo >= 0 {
+		for i := lo; i <= hi; i++ {
+			cum += snap.Buckets[i]
+			_, upper := bucketBounds(i)
+			if err := writeBucket(w, name, labels, upper/1e9, cum); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeBucketInf(w, name, labels, snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels,
+		formatFloat(float64(snap.Sum)/1e9)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, snap.Count)
+	return err
+}
+
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func writeBucket(w io.Writer, name, labels string, le float64, cum uint64) error {
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, formatFloat(le)), cum)
+	return err
+}
+
+func writeBucketInf(w io.Writer, name, labels string, count uint64) error {
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), count)
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SeriesSnapshot is one series rendered for the JSON surface.
+type SeriesSnapshot struct {
+	Labels string `json:"labels,omitempty"`
+	// Counter / gauge value.
+	Value *int64 `json:"value,omitempty"`
+	// Histogram summary (nanoseconds).
+	Count uint64  `json:"count,omitempty"`
+	SumNS uint64  `json:"sum_ns,omitempty"`
+	P50NS float64 `json:"p50_ns,omitempty"`
+	P90NS float64 `json:"p90_ns,omitempty"`
+	P99NS float64 `json:"p99_ns,omitempty"`
+}
+
+// FamilySnapshot is one metric family rendered for the JSON surface.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Kind   string           `json:"kind"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot renders every family, sorted by name, with histogram
+// quantiles precomputed.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	fams := r.sortedFamilies()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String(), Help: f.help}
+		for _, s := range f.sortedSeries() {
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				v := int64(s.c.Value())
+				ss.Value = &v
+			case kindGauge:
+				v := s.g.Value()
+				ss.Value = &v
+			case kindHistogram:
+				snap := s.h.Snapshot()
+				ss.Count = snap.Count
+				ss.SumNS = snap.Sum
+				ss.P50NS = snap.Quantile(0.50)
+				ss.P90NS = snap.Quantile(0.90)
+				ss.P99NS = snap.Quantile(0.99)
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// MarshalJSON renders the registry as its snapshot.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryMemoizes(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", "mode", "imm")
+	b := r.Counter("x_total", "", "mode", "imm")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct handles")
+	}
+	c := r.Counter("x_total", "", "mode", "def")
+	if a == c {
+		t.Fatal("distinct labels shared a handle")
+	}
+	// Label order must not matter.
+	d := r.Counter("y_total", "", "a", "1", "b", "2")
+	e := r.Counter("y_total", "", "b", "2", "a", "1")
+	if d != e {
+		t.Fatal("label order changed the series identity")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("requesting a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestRegistryOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label count did not panic")
+		}
+	}()
+	r.Counter("m", "", "keyonly")
+}
+
+// TestWritePrometheusGolden pins the exact exposition-format output:
+// sorted families, HELP/TYPE headers, cumulative le buckets in
+// seconds, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "total things", "mode", "imm").Add(3)
+	r.Gauge("test_depth", "queue depth").Set(-2)
+	h := r.Histogram("test_seconds", "latency")
+	h.Observe(100 * time.Nanosecond)  // bucket 6: [64, 128)
+	h.Observe(3000 * time.Nanosecond) // bucket 11: [2048, 4096)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_depth queue depth
+# TYPE test_depth gauge
+test_depth -2
+# HELP test_seconds latency
+# TYPE test_seconds histogram
+test_seconds_bucket{le="1.28e-07"} 1
+test_seconds_bucket{le="2.56e-07"} 1
+test_seconds_bucket{le="5.12e-07"} 1
+test_seconds_bucket{le="1.024e-06"} 1
+test_seconds_bucket{le="2.048e-06"} 1
+test_seconds_bucket{le="4.096e-06"} 2
+test_seconds_bucket{le="+Inf"} 2
+test_seconds_sum 3.1e-06
+test_seconds_count 2
+# HELP test_total total things
+# TYPE test_total counter
+test_total{mode="imm"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "", "mode", "imm").Observe(100)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{mode="imm",le="+Inf"} 1`,
+		`lat_seconds_count{mode="imm"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{k="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series %q not found in:\n%s", want, b.String())
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(7)
+	h := r.Histogram("h_seconds", "")
+	h.Observe(time.Microsecond)
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fams []FamilySnapshot
+	if err := json.Unmarshal(raw, &fams); err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	if fams[0].Name != "c_total" || fams[0].Kind != "counter" ||
+		fams[0].Series[0].Value == nil || *fams[0].Series[0].Value != 7 {
+		t.Fatalf("counter snapshot wrong: %+v", fams[0])
+	}
+	hs := fams[1].Series[0]
+	if fams[1].Kind != "histogram" || hs.Count != 1 || hs.SumNS != 1000 || hs.P50NS <= 0 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+}

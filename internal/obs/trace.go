@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one recorded stage of an event's life: sentry detection,
+// composition, deferred queuing, condition evaluation, action
+// execution, commit/abort. Key names the thing the stage worked on
+// (spec key, composite name, or rule name).
+type Span struct {
+	Stage string        `json:"stage"`
+	Key   string        `json:"key,omitempty"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Trace is the end-to-end record of one event occurrence from sentry
+// firing to rule-transaction resolution. Spans appear in completion
+// order; sort by Start for the lifecycle view.
+type Trace struct {
+	ID      uint64    `json:"id"`
+	Root    string    `json:"root"`
+	Start   time.Time `json:"start"`
+	Spans   []Span    `json:"spans"`
+	Dropped int       `json:"dropped,omitempty"` // spans beyond the per-trace cap
+}
+
+// maxSpansPerTrace bounds the memory of one trace; a cascading rule
+// storm records its first spans and counts the rest.
+const maxSpansPerTrace = 128
+
+// traceStripes is the number of lock stripes; a power of two.
+const traceStripes = 16
+
+// Tracer mints trace IDs and records spans into a bounded ring: slot
+// i holds the most recent trace with ID ≡ i (mod capacity), so memory
+// is fixed and old traces are overwritten by new ones. Stripes keep
+// concurrent recorders off each other's locks.
+type Tracer struct {
+	next    atomic.Uint64
+	cap     uint64
+	stripes [traceStripes]sync.Mutex
+	slots   []*Trace
+}
+
+// NewTracer returns a tracer retaining up to capacity traces
+// (default 256 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{cap: uint64(capacity), slots: make([]*Trace, capacity)}
+}
+
+func (tr *Tracer) lock(slot uint64) *sync.Mutex {
+	return &tr.stripes[slot%traceStripes]
+}
+
+// Begin mints a new trace rooted at key and returns its ID (never 0).
+func (tr *Tracer) Begin(root string, now time.Time) uint64 {
+	id := tr.next.Add(1)
+	slot := id % tr.cap
+	mu := tr.lock(slot)
+	mu.Lock()
+	tr.slots[slot] = &Trace{ID: id, Root: root, Start: now}
+	mu.Unlock()
+	return id
+}
+
+// Span records one stage on trace id. Spans for traces already
+// evicted from the ring are dropped silently.
+func (tr *Tracer) Span(id uint64, stage, key string, start time.Time, dur time.Duration) {
+	if id == 0 {
+		return
+	}
+	slot := id % tr.cap
+	mu := tr.lock(slot)
+	mu.Lock()
+	t := tr.slots[slot]
+	if t != nil && t.ID == id {
+		if len(t.Spans) < maxSpansPerTrace {
+			t.Spans = append(t.Spans, Span{Stage: stage, Key: key, Start: start, Dur: dur})
+		} else {
+			t.Dropped++
+		}
+	}
+	mu.Unlock()
+}
+
+// Get returns a copy of trace id, if it is still in the ring.
+func (tr *Tracer) Get(id uint64) (Trace, bool) {
+	if id == 0 {
+		return Trace{}, false
+	}
+	slot := id % tr.cap
+	mu := tr.lock(slot)
+	mu.Lock()
+	defer mu.Unlock()
+	t := tr.slots[slot]
+	if t == nil || t.ID != id {
+		return Trace{}, false
+	}
+	return t.copy(), true
+}
+
+func (t *Trace) copy() Trace {
+	cp := *t
+	cp.Spans = append([]Span(nil), t.Spans...)
+	return cp
+}
+
+// Recent returns up to n retained traces, newest first, each with its
+// spans ordered by start time.
+func (tr *Tracer) Recent(n int) []Trace {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Trace, 0, n)
+	for i := range tr.slots {
+		mu := tr.lock(uint64(i))
+		mu.Lock()
+		if t := tr.slots[i]; t != nil {
+			out = append(out, t.copy())
+		}
+		mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	if len(out) > n {
+		out = out[:n]
+	}
+	for i := range out {
+		spans := out[i].Spans
+		sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start.Before(spans[b].Start) })
+	}
+	return out
+}
+
+// Len reports how many traces are currently retained.
+func (tr *Tracer) Len() int {
+	n := 0
+	for i := range tr.slots {
+		mu := tr.lock(uint64(i))
+		mu.Lock()
+		if tr.slots[i] != nil {
+			n++
+		}
+		mu.Unlock()
+	}
+	return n
+}

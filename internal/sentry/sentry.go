@@ -19,9 +19,10 @@ package sentry
 
 import (
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/event"
+	"repro/internal/obs"
 )
 
 // Consumer receives events that pass the dispatcher's filter —
@@ -46,9 +47,17 @@ type Dispatcher struct {
 	mu   sync.RWMutex
 	subs map[string]*subscription
 
-	useful      atomic.Uint64
-	useless     atomic.Uint64
-	potentially atomic.Uint64
+	// Overhead-class counters. Standalone by default; Instrument
+	// rebinds them into a shared registry so they are one source of
+	// truth for Stats() and the /metrics surface alike.
+	useful      *obs.Counter
+	useless     *obs.Counter
+	potentially *obs.Counter
+
+	// tracer, when set, mints a lifecycle trace for every event
+	// delivered through Emit.
+	tracer *obs.Tracer
+	now    func() time.Time
 }
 
 type subscription struct {
@@ -59,8 +68,31 @@ type subscription struct {
 // New returns a dispatcher forwarding to consumer.
 func New(consumer Consumer) *Dispatcher {
 	return &Dispatcher{
-		consumer: consumer,
-		subs:     make(map[string]*subscription),
+		consumer:    consumer,
+		subs:        make(map[string]*subscription),
+		useful:      new(obs.Counter),
+		useless:     new(obs.Counter),
+		potentially: new(obs.Counter),
+	}
+}
+
+// Instrument binds the dispatcher's overhead counters into reg (as
+// reach_sentry_checks_total{class=...}) and installs tracer so Emit
+// mints a lifecycle trace per delivered event. Call it before the
+// dispatcher sees traffic; it is not synchronized against Wants/Emit.
+func (d *Dispatcher) Instrument(reg *obs.Registry, tracer *obs.Tracer, now func() time.Time) {
+	if reg != nil {
+		const name, help = "reach_sentry_checks_total", "Sentry firings by overhead class (WSTR93)."
+		d.useful = reg.Counter(name, help, "class", "useful")
+		d.useless = reg.Counter(name, help, "class", "useless")
+		d.potentially = reg.Counter(name, help, "class", "potential")
+	}
+	if tracer != nil {
+		d.tracer = tracer
+		d.now = now
+		if d.now == nil {
+			d.now = time.Now
+		}
 	}
 }
 
@@ -108,32 +140,37 @@ func (d *Dispatcher) Wants(specKey string) bool {
 	s := d.subs[specKey]
 	d.mu.RUnlock()
 	if s == nil {
-		d.useless.Add(1)
+		d.useless.Inc()
 		return false
 	}
 	if s.disabled {
-		d.potentially.Add(1)
+		d.potentially.Inc()
 		return false
 	}
-	d.useful.Add(1)
+	d.useful.Inc()
 	return true
 }
 
-// Emit implements the database Sink delivery path.
+// Emit implements the database Sink delivery path. It is the origin
+// of the event's lifecycle trace: every occurrence entering the
+// system through a sentry gets its trace ID minted here.
 func (d *Dispatcher) Emit(in *event.Instance) error {
+	if d.tracer != nil && in.Trace == 0 {
+		in.Trace = d.tracer.Begin(in.SpecKey, d.now())
+	}
 	return d.consumer.Consume(in)
 }
 
 // Stats reports how many sentry firings fell into each overhead class.
 func (d *Dispatcher) Stats() (useful, useless, potentially uint64) {
-	return d.useful.Load(), d.useless.Load(), d.potentially.Load()
+	return d.useful.Value(), d.useless.Value(), d.potentially.Value()
 }
 
 // ResetStats zeroes the overhead counters.
 func (d *Dispatcher) ResetStats() {
-	d.useful.Store(0)
-	d.useless.Store(0)
-	d.potentially.Store(0)
+	d.useful.Reset()
+	d.useless.Reset()
+	d.potentially.Reset()
 }
 
 // Subscriptions reports the number of live subscription keys.

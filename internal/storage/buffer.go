@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // BufferPool caches page frames with pin counts and LRU eviction.
@@ -21,8 +23,10 @@ type BufferPool struct {
 	frames map[PageID]*frame
 	lru    *list.List // of PageID; front = most recently used
 
-	hits   uint64
-	misses uint64
+	// hits/misses are standalone by default and rebound into the
+	// shared registry when the store is opened with Metrics.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 type frame struct {
@@ -44,14 +48,22 @@ func NewBufferPool(pager *Pager, capacity int) *BufferPool {
 		capacity: capacity,
 		frames:   make(map[PageID]*frame),
 		lru:      list.New(),
+		hits:     new(obs.Counter),
+		misses:   new(obs.Counter),
 	}
+}
+
+// Instrument rebinds the pool's hit/miss counters into reg. Call it
+// before the pool sees traffic.
+func (bp *BufferPool) Instrument(reg *obs.Registry) {
+	const name, help = "reach_buffer_lookups_total", "Buffer-pool page lookups by result."
+	bp.hits = reg.Counter(name, help, "result", "hit")
+	bp.misses = reg.Counter(name, help, "result", "miss")
 }
 
 // Stats reports cumulative hit and miss counts.
 func (bp *BufferPool) Stats() (hits, misses uint64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses
+	return bp.hits.Value(), bp.misses.Value()
 }
 
 // Pin fetches page id into the pool and pins it. The caller must call
@@ -60,12 +72,12 @@ func (bp *BufferPool) Pin(id PageID) (*Page, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if fr, ok := bp.frames[id]; ok {
-		bp.hits++
+		bp.hits.Inc()
 		fr.pins++
 		bp.lru.MoveToFront(fr.lruElem)
 		return &fr.page, nil
 	}
-	bp.misses++
+	bp.misses.Inc()
 	if err := bp.evictLocked(); err != nil {
 		return nil, err
 	}

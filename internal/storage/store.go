@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Options configure a Store.
@@ -15,6 +17,9 @@ type Options struct {
 	// SyncOnCommit forces the WAL to stable storage on every commit.
 	// It defaults to true; benchmarks disable it to isolate fsync cost.
 	SyncOnCommit *bool
+	// Metrics, when set, binds the store's counters (buffer hits and
+	// misses, WAL syncs, WAL append latency) into a shared registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +93,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		opts:       opts,
 		active:     make(map[uint64]*txnState),
 		insertHint: InvalidPageID,
+	}
+	if opts.Metrics != nil {
+		s.pool.Instrument(opts.Metrics)
+		wal.Instrument(opts.Metrics)
 	}
 	if err := s.recover(); err != nil {
 		wal.Close()

@@ -9,6 +9,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // LogKind discriminates write-ahead-log records.
@@ -66,9 +69,12 @@ type WAL struct {
 	w       *bufio.Writer
 	nextLSN uint64
 	path    string
-	// appendsSinceSync counts records buffered since the last Sync,
-	// so Stats can report the effect of group commit.
-	syncs uint64
+
+	// syncs counts fsyncs so Stats can report the effect of group
+	// commit; appendDur is the append (serialize + buffer) latency.
+	// Both are standalone by default and rebound by Instrument.
+	syncs     *obs.Counter
+	appendDur *obs.Histogram
 }
 
 // OpenWAL opens (creating if necessary) the log file at path and
@@ -78,7 +84,7 @@ func OpenWAL(path string) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
-	w := &WAL{f: f, path: path, nextLSN: 1}
+	w := &WAL{f: f, path: path, nextLSN: 1, syncs: new(obs.Counter), appendDur: new(obs.Histogram)}
 	// Scan to find the end of the valid prefix; truncate any torn tail.
 	validEnd := int64(0)
 	err = w.scan(func(rec LogRecord, end int64) {
@@ -101,9 +107,19 @@ func OpenWAL(path string) (*WAL, error) {
 	return w, nil
 }
 
+// Instrument rebinds the log's counters into reg. Call it before the
+// log sees traffic.
+func (w *WAL) Instrument(reg *obs.Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncs = reg.Counter("reach_wal_syncs_total", "WAL fsyncs issued.")
+	w.appendDur = reg.Histogram("reach_wal_append_seconds", "WAL record append latency.")
+}
+
 // Append writes rec to the log, assigning and returning its LSN. The
 // record is buffered; call Sync to force it to stable storage.
 func (w *WAL) Append(rec *LogRecord) (uint64, error) {
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	rec.LSN = w.nextLSN
@@ -111,6 +127,7 @@ func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 	if err := writeRecord(w.w, rec); err != nil {
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
+	w.appendDur.Observe(time.Since(start))
 	return rec.LSN, nil
 }
 
@@ -128,16 +145,14 @@ func (w *WAL) syncLocked() error {
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
-	w.syncs++
+	w.syncs.Inc()
 	return nil
 }
 
 // Syncs reports the number of fsyncs issued, for the group-commit
 // benchmarks.
 func (w *WAL) Syncs() uint64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.syncs
+	return w.syncs.Value()
 }
 
 // NextLSN reports the LSN the next appended record will receive.

@@ -14,6 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Status is the lifecycle state of a transaction.
@@ -74,13 +77,34 @@ type Manager struct {
 	// top-level outcomes durable.
 	commitFunc func(t *Txn) error
 	abortFunc  func(t *Txn) error
+
+	// Top-level outcome counters and lifetime histogram. Standalone
+	// by default; Instrument rebinds them into a shared registry.
+	commits *obs.Counter
+	aborts  *obs.Counter
+	durs    *obs.Histogram
 }
 
 // NewManager returns a transaction manager.
 func NewManager() *Manager {
-	m := &Manager{nextID: 1}
+	m := &Manager{
+		nextID:  1,
+		commits: new(obs.Counter),
+		aborts:  new(obs.Counter),
+		durs:    new(obs.Histogram),
+	}
 	m.locks = newLockTable()
 	return m
+}
+
+// Instrument binds the manager's counters into reg. Call it before
+// the first Begin.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	const name, help = "reach_txn_total", "Top-level transaction outcomes."
+	m.commits = reg.Counter(name, help, "outcome", "commit")
+	m.aborts = reg.Counter(name, help, "outcome", "abort")
+	m.durs = reg.Histogram("reach_txn_duration_seconds",
+		"Top-level transaction lifetime, begin to resolution.")
 }
 
 // SetListener installs the lifecycle listener (nil allowed).
@@ -97,9 +121,10 @@ func (m *Manager) SetDurability(commit, abort func(t *Txn) error) {
 // closed nested subtransaction whose effects become permanent only if
 // every ancestor commits.
 type Txn struct {
-	m      *Manager
-	id     uint64
-	parent *Txn
+	m       *Manager
+	id      uint64
+	parent  *Txn
+	started time.Time
 
 	mu       sync.Mutex
 	status   Status
@@ -135,6 +160,7 @@ func (m *Manager) BeginTagged(key, val any) *Txn {
 	t := &Txn{
 		m:        m,
 		id:       id,
+		started:  time.Now(),
 		status:   Active,
 		children: make(map[*Txn]bool),
 		done:     make(chan struct{}),
@@ -163,6 +189,7 @@ func (t *Txn) BeginChild() (*Txn, error) {
 		m:        t.m,
 		id:       id,
 		parent:   t,
+		started:  time.Now(),
 		status:   Active,
 		children: make(map[*Txn]bool),
 		done:     make(chan struct{}),
@@ -359,6 +386,8 @@ func (t *Txn) Commit() error {
 	t.mu.Unlock()
 
 	if t.parent == nil {
+		t.m.commits.Inc()
+		t.m.durs.Observe(time.Since(t.started))
 		t.m.locks.releaseAll(t)
 	} else {
 		// Closed nesting: the parent inherits the child's locks and
@@ -431,6 +460,10 @@ func (t *Txn) abort(cause error) error {
 	close(t.done)
 	t.mu.Unlock()
 
+	if t.parent == nil {
+		t.m.aborts.Inc()
+		t.m.durs.Observe(time.Since(t.started))
+	}
 	t.m.locks.releaseAll(t)
 	if l := t.m.listener; l != nil {
 		l.AfterAbort(t)

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eca"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/query"
 	"repro/internal/rules"
@@ -44,6 +45,19 @@ import (
 
 // System is a running REACH instance: database, rule engine, queries.
 type System = core.System
+
+// Observability surface (metrics registry, lifecycle traces, admin
+// HTTP endpoints) — see System.Metrics, System.Tracer, System.Admin.
+type (
+	// Registry is the shared metrics registry.
+	Registry = obs.Registry
+	// Tracer retains recent event-lifecycle traces.
+	Tracer = obs.Tracer
+	// Trace is one end-to-end event lifecycle record.
+	Trace = obs.Trace
+	// Span is one stage of a trace.
+	Span = obs.Span
+)
 
 // Options configure Open.
 type Options = core.Options

@@ -1,0 +1,226 @@
+package reach
+
+import (
+	"testing"
+	"time"
+)
+
+// realClockSystem builds a River system on the real clock, so span
+// durations measure actual elapsed time.
+func realClockSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	river := NewClass("River", Attr{Name: "level", Type: TInt})
+	river.Monitored = true
+	river.Method("updateWaterLevel", func(ctx *Ctx, self *Object, args []any) (any, error) {
+		return nil, ctx.Set(self, "level", args[0])
+	})
+	if err := sys.RegisterClass(river); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// stageDurs maps each recorded stage of a trace to its total duration.
+func stageDurs(tr Trace) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, sp := range tr.Spans {
+		out[sp.Stage] += sp.Dur
+	}
+	return out
+}
+
+// findTraceWith returns the retained trace containing every wanted
+// stage, if any.
+func findTraceWith(sys *System, stages ...string) (Trace, bool) {
+	for _, tr := range sys.Tracer.Recent(64) {
+		durs := stageDurs(tr)
+		all := true
+		for _, st := range stages {
+			if _, ok := durs[st]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return tr, true
+		}
+	}
+	return Trace{}, false
+}
+
+// TestTraceImmediateRule checks that one trace follows an event from
+// sentry detection through immediate condition, action, and the rule
+// subtransaction's commit.
+func TestTraceImmediateRule(t *testing.T) {
+	sys := realClockSystem(t)
+	defer sys.Close()
+	tx := sys.Begin()
+	river, _ := sys.DB.NewObject(tx, "River")
+	tx.Commit()
+
+	key := MethodSpec{Class: "River", Method: "updateWaterLevel", When: After}.Key()
+	sys.Engine.AddRule(&Rule{
+		Name: "watch", EventKey: key, ActionMode: Immediate,
+		Cond: func(rc *RuleCtx) (bool, error) {
+			time.Sleep(time.Millisecond)
+			return true, nil
+		},
+		Action: func(rc *RuleCtx) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	})
+
+	tx2 := sys.Begin()
+	if _, err := sys.DB.Invoke(tx2, river, "updateWaterLevel", int64(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, ok := findTraceWith(sys, "detect", "condition-eval", "action-exec", "commit")
+	if !ok {
+		t.Fatalf("no trace with the immediate lifecycle; have %+v", sys.Tracer.Recent(8))
+	}
+	durs := stageDurs(tr)
+	for _, st := range []string{"detect", "condition-eval", "action-exec"} {
+		if durs[st] < time.Millisecond {
+			t.Errorf("stage %s duration = %v, want >= 1ms", st, durs[st])
+		}
+	}
+	if durs["commit"] <= 0 {
+		t.Errorf("commit span duration = %v, want > 0", durs["commit"])
+	}
+}
+
+// TestTraceDeferredRule checks the enqueue-deferred span measures the
+// queue wait from enqueue (during the transaction) to dequeue (EOT).
+func TestTraceDeferredRule(t *testing.T) {
+	sys := realClockSystem(t)
+	defer sys.Close()
+	tx := sys.Begin()
+	river, _ := sys.DB.NewObject(tx, "River")
+	tx.Commit()
+
+	key := MethodSpec{Class: "River", Method: "updateWaterLevel", When: After}.Key()
+	sys.Engine.AddRule(&Rule{
+		Name: "audit", EventKey: key, ActionMode: Deferred,
+		Cond: func(rc *RuleCtx) (bool, error) {
+			time.Sleep(time.Millisecond)
+			return true, nil
+		},
+		Action: func(rc *RuleCtx) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	})
+
+	tx2 := sys.Begin()
+	if _, err := sys.DB.Invoke(tx2, river, "updateWaterLevel", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // work between trigger and EOT
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, ok := findTraceWith(sys, "detect", "enqueue-deferred", "condition-eval", "action-exec", "commit")
+	if !ok {
+		t.Fatalf("no trace with the deferred lifecycle; have %+v", sys.Tracer.Recent(8))
+	}
+	durs := stageDurs(tr)
+	if durs["enqueue-deferred"] < 2*time.Millisecond {
+		t.Errorf("queue-wait span = %v, want >= 2ms", durs["enqueue-deferred"])
+	}
+	if durs["action-exec"] < time.Millisecond {
+		t.Errorf("action-exec = %v, want >= 1ms", durs["action-exec"])
+	}
+}
+
+// TestTraceCompositeRule is the acceptance scenario: a composite rule
+// fired through the system yields one trace whose stages span
+// detection, composition, deferred queuing, and rule execution — at
+// least four named stages with non-zero durations.
+func TestTraceCompositeRule(t *testing.T) {
+	sys := realClockSystem(t)
+	defer sys.Close()
+	tx := sys.Begin()
+	river, _ := sys.DB.NewObject(tx, "River")
+	tx.Commit()
+
+	key := MethodSpec{Class: "River", Method: "updateWaterLevel", When: After}.Key()
+	// Transaction scope: the completion carries the raising
+	// transaction, which deferred coupling requires.
+	comp := &Composite{
+		Name:     "level-pair",
+		Expr:     Seq{Exprs: []Expr{Prim{Key: key}, Prim{Key: key}}},
+		Policy:   Chronicle,
+		Scope:    ScopeTransaction,
+		Validity: time.Hour,
+	}
+	if err := sys.Engine.DefineComposite(comp); err != nil {
+		t.Fatal(err)
+	}
+	sys.Engine.AddRule(&Rule{
+		Name: "onPair", EventKey: comp.Key(), ActionMode: Deferred,
+		Cond: func(rc *RuleCtx) (bool, error) {
+			time.Sleep(time.Millisecond)
+			return true, nil
+		},
+		Action: func(rc *RuleCtx) error {
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	})
+
+	tx2 := sys.Begin()
+	for i := 0; i < 2; i++ {
+		if _, err := sys.DB.Invoke(tx2, river, "updateWaterLevel", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Engine.DrainComposers()
+	time.Sleep(2 * time.Millisecond)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, ok := findTraceWith(sys,
+		"detect", "compose", "enqueue-deferred", "condition-eval", "action-exec", "commit")
+	if !ok {
+		t.Fatalf("no trace with the full composite lifecycle; have %+v", sys.Tracer.Recent(8))
+	}
+	durs := stageDurs(tr)
+	nonZero := 0
+	for _, d := range durs {
+		if d > 0 {
+			nonZero++
+		}
+	}
+	if nonZero < 4 {
+		t.Fatalf("only %d stages with non-zero duration: %+v", nonZero, durs)
+	}
+	if durs["enqueue-deferred"] < 2*time.Millisecond {
+		t.Errorf("queue-wait = %v, want >= 2ms", durs["enqueue-deferred"])
+	}
+
+	// The composite completion must carry the trace of its completing
+	// constituent: the trace root is the primitive spec key.
+	if tr.Root != key {
+		t.Errorf("trace root = %q, want primitive key %q", tr.Root, key)
+	}
+
+	// The per-coupling-mode firing metrics moved with it.
+	reg := sys.Metrics
+	if v := reg.Counter("reach_rules_fired_total", "", "mode", "deferred").Value(); v == 0 {
+		t.Error("reach_rules_fired_total{mode=deferred} = 0 after deferred firing")
+	}
+	if n := reg.Histogram("reach_rule_latency_seconds", "", "mode", "deferred").Count(); n == 0 {
+		t.Error("reach_rule_latency_seconds{mode=deferred} has no observations")
+	}
+}
