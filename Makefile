@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet all
+.PHONY: build test race vet lint all
 
 all: build vet test
 
@@ -15,3 +15,10 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the REACH-specific analyzers (reachvet) over the module
+# and the semantic rule-language pass (rulec -vet) over every shipped
+# rule file. Both exit nonzero on findings.
+lint:
+	$(GO) run ./cmd/reachvet
+	$(GO) run ./cmd/rulec -vet examples/*/rules/*.rules

@@ -290,12 +290,12 @@ func newObject(sys *reach.System, out io.Writer, args []string) error {
 	tx := sys.Begin()
 	obj, err := sys.DB.NewObject(tx, args[0])
 	if err != nil {
-		tx.Abort()
+		_ = tx.Abort() // secondary to the reported error
 		return err
 	}
 	if len(args) == 3 {
 		if err := sys.DB.SetRoot(tx, args[2], obj); err != nil {
-			tx.Abort()
+			_ = tx.Abort() // secondary to the reported error
 			return err
 		}
 	}
@@ -313,33 +313,33 @@ func objectCmd(sys *reach.System, out io.Writer, cmd string, args []string) erro
 	tx := sys.Begin()
 	obj, err := sys.DB.Root(tx, args[0])
 	if err != nil {
-		tx.Abort()
+		_ = tx.Abort() // secondary to the reported error
 		return err
 	}
 	switch cmd {
 	case "get":
 		if len(args) != 2 {
-			tx.Abort()
+			_ = tx.Abort() // secondary to the reported error
 			return fmt.Errorf("usage: get <root> <attr>")
 		}
 		v, err := sys.DB.Get(tx, obj, args[1])
 		if err != nil {
-			tx.Abort()
+			_ = tx.Abort() // secondary to the reported error
 			return err
 		}
 		fmt.Fprintf(out, "%v\n", v)
 	case "set":
 		if len(args) != 3 {
-			tx.Abort()
+			_ = tx.Abort() // secondary to the reported error
 			return fmt.Errorf("usage: set <root> <attr> <value>")
 		}
 		if err := sys.DB.Set(tx, obj, args[1], parseValue(args[2])); err != nil {
-			tx.Abort()
+			_ = tx.Abort() // secondary to the reported error
 			return err
 		}
 	case "invoke":
 		if len(args) < 2 {
-			tx.Abort()
+			_ = tx.Abort() // secondary to the reported error
 			return fmt.Errorf("usage: invoke <root> <method> [args...]")
 		}
 		callArgs := make([]any, 0, len(args)-2)
@@ -348,7 +348,7 @@ func objectCmd(sys *reach.System, out io.Writer, cmd string, args []string) erro
 		}
 		res, err := sys.DB.Invoke(tx, obj, args[1], callArgs...)
 		if err != nil {
-			tx.Abort()
+			_ = tx.Abort() // secondary to the reported error
 			return err
 		}
 		if res != nil {
@@ -356,7 +356,7 @@ func objectCmd(sys *reach.System, out io.Writer, cmd string, args []string) erro
 		}
 	case "delete":
 		if err := sys.DB.Delete(tx, obj); err != nil {
-			tx.Abort()
+			_ = tx.Abort() // secondary to the reported error
 			return err
 		}
 	}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if exit := run([]string{"-list"}, &out, &errw); exit != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", exit, errw.String())
+	}
+	for _, name := range []string{"clockusage", "lockdiscipline", "rawatomics", "couplingtable", "errsink"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errw bytes.Buffer
+	if exit := run([]string{"-only", "nonesuch"}, &out, &errw); exit != 2 {
+		t.Fatalf("exit = %d, want 2", exit)
+	}
+	if !strings.Contains(errw.String(), `unknown analyzer "nonesuch"`) {
+		t.Errorf("missing diagnostic:\n%s", errw.String())
+	}
+}
+
+// TestModuleIsClean runs the full suite over this repository — the
+// same invariant `make lint` enforces, kept inside `go test ./...` so
+// a finding (or an unjustified suppression) fails tier-1 directly.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var out, errw bytes.Buffer
+	if exit := run(nil, &out, &errw); exit != 0 {
+		t.Errorf("reachvet found violations:\n%s%s", out.String(), errw.String())
+	}
+}

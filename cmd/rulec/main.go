@@ -2,13 +2,18 @@
 // definition files, reports syntax errors with line numbers, and
 // prints a summary of each rule — the events it triggers on, its
 // coupling modes, priorities, and the composite events it would
-// define.
+// define. With -vet it additionally runs the semantic pass, rejecting
+// rules the engine's Table 1 admission matrix would refuse at load
+// time: invalid coupling/category pairs, cross-transaction composites
+// without a validity interval, unknown consumption policies,
+// duplicate rule names, and undeclared variable references.
 //
-//	rulec file.rules [file2.rules ...]
+//	rulec [-vet] file.rules [file2.rules ...]
 //	echo 'rule R { ... };' | rulec -
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -17,32 +22,58 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: rulec <file.rules>... (or - for stdin)")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rulec", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	vet := fs.Bool("vet", false, "run the semantic pass (Table 1, validity, policies, variables)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: rulec [-vet] <file.rules>... (or - for stdin)")
+		fs.PrintDefaults()
 	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	vetter := reach.NewRuleVetter()
 	exit := 0
-	for _, path := range args {
+	for _, path := range fs.Args() {
 		var src []byte
 		var err error
 		if path == "-" {
-			src, err = io.ReadAll(os.Stdin)
+			src, err = io.ReadAll(stdin)
 		} else {
 			src, err = os.ReadFile(path)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rulec: %v\n", err)
+			fmt.Fprintf(stderr, "rulec: %v\n", err)
 			exit = 1
 			continue
 		}
 		decls, err := reach.ParseRules(string(src))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			fmt.Fprintf(stderr, "%s: %v\n", path, err)
 			exit = 1
 			continue
 		}
-		fmt.Printf("%s: %d rule(s) OK\n", path, len(decls))
+		if *vet {
+			diags := vetter.Vet(path, decls)
+			if len(diags) > 0 {
+				for _, d := range diags {
+					fmt.Fprintln(stderr, d)
+				}
+				exit = 1
+				continue
+			}
+			fmt.Fprintf(stdout, "%s: %d rule(s) OK (vetted)\n", path, len(decls))
+		} else {
+			fmt.Fprintf(stdout, "%s: %d rule(s) OK\n", path, len(decls))
+		}
 		for _, d := range decls {
 			condMode := d.CondMode
 			if condMode == "" {
@@ -55,15 +86,15 @@ func main() {
 			if actionMode == "" {
 				actionMode = "detached (default)"
 			}
-			fmt.Printf("  rule %-20s prio %-4d event %-40v cond %s / action %s\n",
+			fmt.Fprintf(stdout, "  rule %-20s prio %-4d event %-40v cond %s / action %s\n",
 				d.Name, d.Prio, d.Event, condMode, actionMode)
 			if d.Scope != "" || d.Policy != "" || d.Validity != 0 {
-				fmt.Printf("    composite: scope=%s policy=%s validity=%v\n",
+				fmt.Fprintf(stdout, "    composite: scope=%s policy=%s validity=%v\n",
 					orDefault(d.Scope, "transaction"), orDefault(d.Policy, "chronicle"), d.Validity)
 			}
 		}
 	}
-	os.Exit(exit)
+	return exit
 }
 
 func orDefault(s, def string) string {

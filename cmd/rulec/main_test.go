@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runRulec drives the compiler exactly as main does, capturing both
+// streams and the exit code.
+func runRulec(t *testing.T, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	exit = run(args, strings.NewReader(""), &out, &errw)
+	return out.String(), errw.String(), exit
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverges from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestValidRules(t *testing.T) {
+	stdout, stderr, exit := runRulec(t, "-vet", filepath.Join("testdata", "valid.rules"))
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", exit, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("unexpected stderr:\n%s", stderr)
+	}
+	checkGolden(t, "valid.golden", stdout)
+}
+
+func TestSyntaxError(t *testing.T) {
+	stdout, stderr, exit := runRulec(t, filepath.Join("testdata", "syntax_error.rules"))
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", exit, stdout)
+	}
+	if !strings.Contains(stderr, "line 2") {
+		t.Errorf("syntax error lost its line number:\n%s", stderr)
+	}
+	checkGolden(t, "syntax_error.golden", stderr)
+}
+
+// TestVetRejectsTable1 seeds one rule per semantic check: Table 1
+// violations on temporal and composite events, a cross-transaction
+// composite without validity, an unknown consumption policy, an
+// undeclared variable, and a duplicate rule name.
+func TestVetRejectsTable1(t *testing.T) {
+	path := filepath.Join("testdata", "table1_invalid.rules")
+	stdout, stderr, exit := runRulec(t, "-vet", path)
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", exit, stdout)
+	}
+	for _, want := range []string{
+		"Table 1 rejects immediate condition coupling on a purely-temporal event",
+		"Table 1 rejects immediate condition coupling on a composite-1tx event",
+		"needs a validity clause",
+		`unknown consumption policy "newest"`,
+		`undeclared variable "threshold"`,
+		`undeclared variable "other"`,
+		"duplicate rule name",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("vet output missing %q", want)
+		}
+	}
+	checkGolden(t, "table1_invalid.golden", stderr)
+}
+
+// TestVetPassesWithoutFlag confirms -vet is opt-in: the same
+// semantically invalid file parses clean without it.
+func TestVetPassesWithoutFlag(t *testing.T) {
+	_, stderr, exit := runRulec(t, filepath.Join("testdata", "table1_invalid.rules"))
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0 (syntax only); stderr:\n%s", exit, stderr)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	_, stderr, exit := runRulec(t)
+	if exit != 2 {
+		t.Fatalf("exit = %d, want 2", exit)
+	}
+	if !strings.Contains(stderr, "usage: rulec") {
+		t.Errorf("missing usage text:\n%s", stderr)
+	}
+}

@@ -145,7 +145,9 @@ func main() {
 	fmt.Println("\n-- sensor reports level 80 (normal)")
 	tx2 := sys.Begin()
 	sys.DB.Invoke(tx2, river, "updateWaterLevel", int64(80))
-	tx2.Commit()
+	if err := tx2.Commit(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Scenario 3: three low readings in one control transaction — the
 	// composite SustainedLowWater fires deferred at EOT (after the
@@ -169,7 +171,7 @@ func main() {
 	tx4 := sys.Begin()
 	sys.DB.Invoke(tx4, river, "updateWaterLevel", int64(20))
 	sys.DB.Invoke(tx4, river, "updateWaterLevel", int64(21))
-	tx4.Abort()
+	_ = tx4.Abort() // the abort is the demonstration; it cannot fail here
 	after := currentPower(sys, reactor)
 	fmt.Printf("  planned power before/after abort: %.2f / %.2f (unchanged)\n", before, after)
 
@@ -177,7 +179,9 @@ func main() {
 	tx5 := sys.Begin()
 	power, _ := sys.DB.Get(tx5, reactor, "plannedPower")
 	alerts, _ := sys.DB.Get(tx5, reactor, "alerts")
-	tx5.Commit()
+	if err := tx5.Commit(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nfinal planned power: %.2f MW, alerts raised: %d\n", power, alerts)
 	st := sys.Engine.Stats()
 	fmt.Printf("engine: %d events, %d immediate, %d deferred, %d composites detected\n",

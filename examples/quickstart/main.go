@@ -98,7 +98,9 @@ rule NoOverdraft {
 	tx3 := sys.Begin()
 	balance, _ := sys.DB.Get(tx3, acct, "balance")
 	fmt.Printf("final balance: %d\n", balance)
-	tx3.Commit()
+	if err := tx3.Commit(); err != nil {
+		log.Fatal(err)
+	}
 
 	st := sys.Engine.Stats()
 	fmt.Printf("engine: %d events, %d immediate rule firings\n", st.Events, st.ImmediateFired)

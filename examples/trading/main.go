@@ -13,7 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync/atomic"
+	"sync/atomic" //lint:allow rawatomics demo-local signal counter, not an engine metric
 	"time"
 
 	reach "repro"
@@ -44,7 +44,9 @@ func main() {
 	sys.DB.Set(tx, dow, "symbol", "DJIA")
 	sys.DB.Set(tx, dow, "value", 4000.0)
 	sys.DB.SetRoot(tx, "DJIA", dow)
-	tx.Commit()
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Composite event: a drop tick then a rise tick, across feed
 	// transactions, each drop opening its own window (continuous
@@ -94,7 +96,9 @@ func main() {
 		if _, err := sys.DB.Invoke(tx, dow, "tick", v); err != nil {
 			log.Fatal(err)
 		}
-		tx.Commit()
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
 		vc.Advance(time.Minute)
 	}
 	sys.Engine.DrainComposers()
@@ -109,7 +113,9 @@ func main() {
 
 	tx2 := sys.Begin()
 	sys.DB.Invoke(tx2, dow, "tick", 4050.0)
-	tx2.Commit()
+	if err := tx2.Commit(); err != nil {
+		log.Fatal(err)
+	}
 	sys.Engine.DrainComposers()
 	sys.Engine.WaitDetached()
 	fmt.Printf("signals after late tick: %d (stale windows must not fire)\n", signals.Load())

@@ -13,7 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync/atomic"
+	"sync/atomic" //lint:allow rawatomics demo-local escalation counter, not an engine metric
 	"time"
 
 	reach "repro"
@@ -129,7 +129,7 @@ func main() {
 	b, _ := sys.DB.NewObject(txB, "Order")
 	sys.DB.Set(txB, b, "id", "B")
 	sys.DB.Invoke(txB, b, "receive")
-	txB.Abort()
+	_ = txB.Abort() // the abort is the demonstration; it cannot fail here
 	sys.Engine.WaitDetached()
 	<-compDone // order A's compensation resolved (aborted)
 	<-compDone // order B's compensation resolved (committed)
@@ -146,7 +146,7 @@ func main() {
 	// compensation is itself waiting for txC to resolve. Wait only for
 	// the escalation to be observed.
 	for escalations.Load() == 0 {
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //lint:allow clockusage demo pacing against the real scheduler, not engine time
 	}
 	sys.DB.Invoke(txC, c, "pack")
 	sys.DB.Invoke(txC, c, "ship")

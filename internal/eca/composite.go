@@ -74,16 +74,23 @@ func (e *Engine) DefineComposite(decl *algebra.Composite) error {
 	}
 	e.composites[key] = cm
 	// Wire each constituent's manager to propagate to this composite.
+	// Sentry subscriptions happen after e.mu is released: the
+	// dispatcher takes its own lock and must never nest inside ours
+	// (lockdiscipline).
+	var subscribe []string
 	for _, prim := range algebra.PrimitiveKeys(decl.Expr) {
 		pm := e.managerLocked(prim, kindOfKey(prim))
 		pm.mu.Lock()
 		pm.composers = append(pm.composers, cm)
 		pm.mu.Unlock()
 		if k := kindOfKey(prim); k == event.KindMethod || k == event.KindState {
-			e.disp.Subscribe(prim)
+			subscribe = append(subscribe, prim)
 		}
 	}
 	e.mu.Unlock()
+	for _, prim := range subscribe {
+		e.disp.Subscribe(prim)
+	}
 
 	if !e.opts.SyncComposition {
 		cm.in = make(chan compMsg, e.opts.ComposerBuffer)

@@ -199,7 +199,7 @@ func (e *Engine) spawnDetached(r *Rule, in *event.Instance) {
 	go func() {
 		defer e.detachedWG.Done()
 		if abortErr != nil {
-			t.AbortWith(abortErr)
+			_ = t.AbortWith(abortErr) // fresh rule txn, abort cannot meaningfully fail
 			return
 		}
 		if mode == DetachedSequentialCausal {

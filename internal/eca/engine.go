@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
+	"sync/atomic" //lint:allow rawatomics event sequence allocator and shutdown flag, not metrics
 	"time"
 
 	"repro/internal/algebra"
@@ -415,34 +415,40 @@ func (e *Engine) AddRule(r *Rule) error {
 	return nil
 }
 
-// RemoveRule unregisters a rule by name from its event's manager.
+// RemoveRule unregisters a rule by name from its event's manager. The
+// sentry unsubscription and the composite flag refresh run after the
+// manager lock is released: both take other subsystems' locks and
+// must not nest inside ours (lockdiscipline).
 func (e *Engine) RemoveRule(eventKey, name string) bool {
 	m := e.lookupManager(eventKey)
 	if m == nil {
 		return false
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	found := false
 	for i, r := range m.rules {
 		if r.Name == name {
 			m.rules = append(m.rules[:i], m.rules[i+1:]...)
-			switch kindOfKey(eventKey) {
-			case event.KindMethod, event.KindState:
-				e.disp.Unsubscribe(eventKey)
-			case event.KindComposite:
-				e.mu.RLock()
-				cm := e.composites[eventKey]
-				e.mu.RUnlock()
-				if cm != nil {
-					m.mu.Unlock()
-					cm.refreshImmediateFlag()
-					m.mu.Lock()
-				}
-			}
-			return true
+			found = true
+			break
 		}
 	}
-	return false
+	m.mu.Unlock()
+	if !found {
+		return false
+	}
+	switch kindOfKey(eventKey) {
+	case event.KindMethod, event.KindState:
+		e.disp.Unsubscribe(eventKey)
+	case event.KindComposite:
+		e.mu.RLock()
+		cm := e.composites[eventKey]
+		e.mu.RUnlock()
+		if cm != nil {
+			cm.refreshImmediateFlag()
+		}
+	}
+	return true
 }
 
 // trigger resolves the live transaction an instance was raised in.
@@ -665,6 +671,6 @@ func (e *Engine) commitRuleTxn(t *txn.Txn, r *Rule, in *event.Instance) error {
 // abort stage on the triggering event's trace.
 func (e *Engine) abortRuleTxn(t *txn.Txn, r *Rule, in *event.Instance, cause error) {
 	start := e.clk.Now()
-	t.AbortWith(cause)
+	_ = t.AbortWith(cause) // cause is already the reported failure
 	e.span(in.Trace, "abort", r.Name, start)
 }

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// clockFuncs are the time-package entry points that read or block on
+// the wall clock. Using them directly makes temporal behavior
+// untestable; engine code must go through an injected clock.Clock.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// ClockUsage enforces the determinism guard: no direct wall-clock
+// reads outside the packages that own time. internal/clock is the
+// abstraction itself, internal/obs timestamps telemetry, and
+// internal/bench measures wall time by definition.
+var ClockUsage = &Analyzer{
+	Name: "clockusage",
+	Doc:  "wall-clock calls (time.Now, time.Sleep, ...) outside internal/clock, internal/obs, internal/bench",
+	Run:  runClockUsage,
+}
+
+func runClockUsage(p *Pass) {
+	if p.InPackage("internal/clock", "internal/obs", "internal/bench") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !clockFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || pkgNameOf(p.Pkg, file, id) != "time" {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"time.%s bypasses the injected clock; take a clock.Clock (determinism guard)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

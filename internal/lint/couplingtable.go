@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/eca"
+)
+
+// CouplingTable statically mirrors the runtime Table 1 admission
+// check of eca.AddRule: every eca.Rule (or reach.Rule — an alias)
+// composite literal with a constant EventKey must pair that event's
+// category with coupling modes the paper's Table 1 admits. Composite
+// events have statically unknown scope, so only modes invalid under
+// every scope (immediate) are flagged for them.
+var CouplingTable = &Analyzer{
+	Name: "couplingtable",
+	Doc:  "eca.Rule literals whose (event category × coupling mode) pair Table 1 rejects",
+	Run:  runCouplingTable,
+}
+
+// couplingByName maps the eca constant identifiers onto their values
+// so the analyzer can evaluate Table 1 without executing code.
+var couplingByName = map[string]eca.Coupling{
+	"Immediate":                eca.Immediate,
+	"Deferred":                 eca.Deferred,
+	"Detached":                 eca.Detached,
+	"DetachedParallelCausal":   eca.DetachedParallelCausal,
+	"DetachedSequentialCausal": eca.DetachedSequentialCausal,
+	"DetachedExclusiveCausal":  eca.DetachedExclusiveCausal,
+}
+
+func runCouplingTable(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isRuleLit(p.Pkg, file, lit) {
+				return true
+			}
+			checkRuleLit(p, lit)
+			return true
+		})
+	}
+}
+
+// isRuleLit reports whether the composite literal constructs an
+// eca.Rule, preferring type information and falling back to the
+// written type when the checker could not resolve it.
+func isRuleLit(pkg *Package, file *ast.File, lit *ast.CompositeLit) bool {
+	if tv, ok := pkg.Info.Types[lit]; ok && tv.Type != nil {
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Name() == "Rule" && obj.Pkg() != nil &&
+				strings.HasSuffix(obj.Pkg().Path(), "internal/eca")
+		}
+		return false
+	}
+	sel, ok := lit.Type.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rule" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	path := pkgNameOf(pkg, file, id)
+	return strings.HasSuffix(path, "internal/eca") || path == "repro"
+}
+
+// checkRuleLit extracts EventKey/CondMode/ActionMode from the literal
+// and applies the Table 1 predicate to whatever is statically known.
+func checkRuleLit(p *Pass, lit *ast.CompositeLit) {
+	var key string
+	var haveKey bool
+	modes := map[string]eca.Coupling{}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		name, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch name.Name {
+		case "EventKey":
+			if bl, ok := ast.Unparen(kv.Value).(*ast.BasicLit); ok {
+				if s, err := strconv.Unquote(bl.Value); err == nil {
+					key, haveKey = s, true
+				}
+			}
+		case "CondMode", "ActionMode":
+			if sel, ok := ast.Unparen(kv.Value).(*ast.SelectorExpr); ok {
+				if c, ok := couplingByName[sel.Sel.Name]; ok {
+					modes[name.Name] = c
+				}
+			}
+		}
+	}
+	if !haveKey || len(modes) == 0 {
+		return // dynamic key or modes: runtime check owns it
+	}
+	for _, field := range []string{"CondMode", "ActionMode"} {
+		mode, ok := modes[field]
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(key, "time:"):
+			if !eca.Supported(eca.PurelyTemporal, mode) {
+				p.Reportf(lit.Pos(),
+					"%s %v on temporal event %q: Table 1 admits only detached for purely temporal events",
+					field, mode, key)
+			}
+		case strings.HasPrefix(key, "composite:"):
+			// Scope is a runtime property of the composite; flag only
+			// modes invalid for both single- and multi-transaction
+			// composites.
+			if !eca.Supported(eca.CompositeSingleTxn, mode) &&
+				!eca.Supported(eca.CompositeMultiTxn, mode) {
+				p.Reportf(lit.Pos(),
+					"%s %v on composite event %q: Table 1 rejects immediate coupling for composite events",
+					field, mode, key)
+			}
+		}
+	}
+}

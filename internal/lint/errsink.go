@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrSink flags discarded error returns at durability-critical call
+// sites: any call into repro/internal/storage (store, pager, WAL) or
+// repro/internal/txn whose error result silently falls on the floor —
+// a bare expression statement or a go statement. Two discards are
+// deliberate and exempt: `defer t.Abort()` (best-effort rollback on
+// the cleanup path) and `_ = call()` (an explicit, reviewed discard,
+// following errcheck convention). internal/bench is exempt wholesale:
+// the measurement harness drives hot loops whose failures surface in
+// the reported numbers, not in error plumbing.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "unchecked error returns on storage/wal/txn call sites",
+	Run:  runErrSink,
+}
+
+// errSinkPkgs are the callee package-path suffixes whose errors must
+// not be ignored.
+var errSinkPkgs = []string{"internal/storage", "internal/txn"}
+
+func runErrSink(p *Pass) {
+	if p.InPackage("internal/bench") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(p.Pkg, call)
+			if fn == nil || fn.Pkg() == nil || !returnsError(fn) {
+				return true
+			}
+			path := fn.Pkg().Path()
+			for _, suffix := range errSinkPkgs {
+				if strings.HasSuffix(path, suffix) {
+					p.Reportf(call.Pos(), "error returned by %s is discarded", fn.FullName())
+					break
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,189 @@
+// Package lint is a zero-dependency static-analysis framework for the
+// REACH codebase, built on go/ast, go/parser, and go/types only. Each
+// Analyzer encodes one project invariant — determinism (clockusage),
+// deadlock discipline (lockdiscipline), metrics routing (rawatomics),
+// the paper's Table 1 admission matrix (couplingtable), and durability
+// error handling (errsink) — and reports findings with file:line
+// positions. Findings can be suppressed per line with a reviewed
+//
+//	//lint:allow <analyzer> <justification>
+//
+// comment; a suppression without a justification is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and suppressions.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run inspects the package and reports findings on the pass.
+	Run func(p *Pass)
+}
+
+// Finding is one diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Msg      string
+}
+
+// String formats the finding as file:line:col: [analyzer] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Msg)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// InPackage reports whether the pass's package path ends in one of
+// the given module-relative suffixes ("internal/clock", ...).
+func (p *Pass) InPackage(suffixes ...string) bool {
+	for _, s := range suffixes {
+		if p.Pkg.Path == s || strings.HasSuffix(p.Pkg.Path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Suite returns the full REACH analyzer suite in stable order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		ClockUsage,
+		LockDiscipline,
+		RawAtomics,
+		CouplingTable,
+		ErrSink,
+	}
+}
+
+// Run applies the analyzers to the packages and returns surviving
+// findings sorted by position, with line-level suppressions applied
+// and unjustified or stale suppressions reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &all}
+			a.Run(pass)
+		}
+	}
+	all = applySuppressions(pkgs, all)
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// --- shared type/AST helpers used by the analyzers ---
+
+// pkgNameOf resolves an identifier to the import path of the package
+// it names, or "" if it is not a package name. Falls back to the
+// file's import table when type information is incomplete.
+func pkgNameOf(pkg *Package, file *ast.File, id *ast.Ident) string {
+	if obj, ok := pkg.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // resolved to something that is not a package
+	}
+	// Unresolved: match against the file's imports by local name.
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// calleeFunc resolves the called function or method of a call
+// expression, or nil when resolution is unavailable.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if obj, ok := pkg.Info.Uses[id]; ok {
+		if fn, ok := obj.(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether any result of the function is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok {
+			if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprString renders a small expression (a mutex receiver, a selector
+// chain) for diagnostics; it is not a general printer.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	}
+	return "?"
+}

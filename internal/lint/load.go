@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and (best-effort) type-checked package of the
+// module under analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/eca").
+	Path string
+	// Mod is the module path the package belongs to ("repro").
+	Mod string
+	// Dir is the absolute directory the sources live in.
+	Dir string
+	// Fset is the file set shared by every package of one Loader.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the checked package object (possibly incomplete if
+	// TypeErrs is non-empty).
+	Types *types.Package
+	// Info carries identifier resolution for the analyzers.
+	Info *types.Info
+	// TypeErrs collects soft type-checking errors; analyzers degrade
+	// to syntactic checks when resolution is missing.
+	TypeErrs []error
+}
+
+// Loader parses and type-checks module packages using nothing but the
+// standard library: module-internal import paths are resolved against
+// the module root, everything else (the standard library) through the
+// source importer, which compiles from $GOROOT/src and therefore
+// needs no pre-built export data.
+type Loader struct {
+	// ModRoot is the absolute path of the module root (where go.mod
+	// lives).
+	ModRoot string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+
+	Fset *token.FileSet
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package // by import path; nil entry = in progress
+}
+
+// NewLoader builds a Loader for the module rooted at dir (or any
+// directory inside it — the root is found by walking up to go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: root,
+		ModPath: modPath,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// Import implements types.Importer so the Loader can hand itself to
+// the type checker: module-internal paths load recursively, all
+// others fall through to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.LoadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module-internal import path onto its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.ModRoot
+	}
+	rel := strings.TrimPrefix(path, l.ModPath+"/")
+	return filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+}
+
+// pathFor maps a directory inside the module onto its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadPath loads the package with the given module-internal import
+// path, memoized across the Loader.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+	p, err := l.load(path, l.dirFor(path))
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir loads the package in the given directory (which must be
+// inside the module).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.pathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadPath(path)
+}
+
+// load parses and type-checks one package directory. Test files are
+// excluded: the analyzers guard production code, and tests routinely
+// construct deliberately invalid rules or use raw primitives.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go source in %s", dir)
+	}
+	sort.Strings(names)
+	p := &Package{Path: path, Mod: l.ModPath, Dir: dir, Fset: l.Fset}
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
+	}
+	// Check never fails hard: analyzers fall back to syntax where
+	// resolution is incomplete.
+	p.Types, _ = conf.Check(path, l.Fset, p.Files, p.Info)
+	return p, nil
+}
+
+// LoadAll walks the module tree and loads every package, skipping
+// testdata, hidden directories, and vendor.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if path != l.ModRoot && (strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") ||
+				n == "testdata" || n == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockDiscipline flags the deadlock shape that has bitten the
+// composer/engine boundary before: a sync.Mutex or sync.RWMutex held
+// across a potentially blocking operation — a channel send or
+// receive, a select, a Wait call, or a call into another package of
+// this module (which may take its own locks and call back).
+//
+// The tracking is a linear, branch-cloning walk of each function
+// body, not a CFG: precise enough for the repository's lock idioms,
+// and anything it over-reports carries a reviewed //lint:allow.
+// Leaf packages that never call back into the engine (obs, event,
+// clock) are exempt as callees, as are deferred calls, which run
+// after the critical section unwinds.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "sync mutex held across a channel operation, Wait, or cross-package call",
+	Run:  runLockDiscipline,
+}
+
+// lockLeafPkgs are callee packages safe to invoke under a lock: they
+// are lock-leaf by design and never re-enter engine code. algebra is
+// on the list because composition is pure computation — the composer
+// state machines own no locks, channels, or I/O.
+var lockLeafPkgs = []string{"internal/obs", "internal/event", "internal/clock", "internal/algebra"}
+
+// lockSafeCallees are individual cross-package functions verified to
+// be lock-free pure accessors, matched by FullName suffix.
+var lockSafeCallees = []string{
+	"txn.Txn).ID",        // returns an immutable field
+	"storage.RID).Valid", // value-receiver predicate on two ints
+}
+
+func runLockDiscipline(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w := &lockWalker{pass: p, held: map[string]token.Pos{}}
+					w.block(fn.Body)
+				}
+			case *ast.FuncLit:
+				w := &lockWalker{pass: p, held: map[string]token.Pos{}}
+				w.block(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+type lockWalker struct {
+	pass *Pass
+	held map[string]token.Pos // mutex expr -> Lock() position
+}
+
+// clone copies the walker for a conditional branch so unlocks on an
+// early-return path do not leak into the straight-line view.
+func (w *lockWalker) clone() *lockWalker {
+	c := &lockWalker{pass: w.pass, held: make(map[string]token.Pos, len(w.held))}
+	for k, v := range w.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt) {
+	for _, st := range b.List {
+		w.stmt(st)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, op, ok := syncLockCall(w.pass.Pkg, call); ok {
+				switch op {
+				case "Lock", "RLock":
+					w.held[recv] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(w.held, recv)
+				}
+				return
+			}
+		}
+		w.scan(st.X)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held to function end; any
+		// other deferred call runs outside the critical section.
+		if recv, op, ok := syncLockCall(w.pass.Pkg, st.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			_ = recv // stays in held: the remainder of the function is the critical section
+		}
+	case *ast.SendStmt:
+		w.offense(st.Pos(), "channel send")
+		w.scan(st.Value)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.scan(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scan(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.scan(e)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.scan(st.Cond)
+		w.clone().block(st.Body)
+		if st.Else != nil {
+			w.clone().stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.scan(st.Cond)
+		}
+		w.clone().block(st.Body)
+	case *ast.RangeStmt:
+		w.scan(st.X)
+		w.clone().block(st.Body)
+	case *ast.SwitchStmt:
+		if st.Tag != nil {
+			w.scan(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cw := w.clone()
+				for _, cs := range cc.Body {
+					cw.stmt(cs)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cw := w.clone()
+				for _, cs := range cc.Body {
+					cw.stmt(cs)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		w.offense(st.Pos(), "select")
+	case *ast.BlockStmt:
+		w.clone().block(st)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	}
+}
+
+// scan looks for blocking operations in an expression evaluated while
+// locks are held. Function literals are skipped: their bodies run
+// later, under whatever locks hold then, and are analyzed separately.
+func (w *lockWalker) scan(e ast.Expr) {
+	if len(w.held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.offense(x.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			w.checkCall(x)
+		}
+		return true
+	})
+}
+
+// checkCall flags Wait calls and cross-package module calls made
+// under a held lock.
+func (w *lockWalker) checkCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if sel.Sel.Name == "Wait" {
+		w.offense(call.Pos(), "call to "+exprString(sel))
+		return
+	}
+	fn := calleeFunc(w.pass.Pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path == w.pass.Pkg.Path || !strings.HasPrefix(path, w.pass.Pkg.Mod+"/") {
+		return
+	}
+	for _, leaf := range lockLeafPkgs {
+		if strings.HasSuffix(path, leaf) {
+			return
+		}
+	}
+	for _, safe := range lockSafeCallees {
+		if strings.HasSuffix(fn.FullName(), safe) {
+			return
+		}
+	}
+	w.offense(call.Pos(), "cross-package call to "+fn.FullName())
+}
+
+// offense reports every held mutex at a blocking operation.
+func (w *lockWalker) offense(pos token.Pos, what string) {
+	for recv := range w.held {
+		w.pass.Reportf(pos, "mutex %s held across %s", recv, what)
+	}
+}
+
+// syncLockCall recognizes X.Lock/RLock/Unlock/RUnlock calls that
+// resolve to the sync package (embedding included); when type
+// information is missing it falls back to the method name alone.
+func syncLockCall(pkg *Package, call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, selOk := call.Fun.(*ast.SelectorExpr)
+	if !selOk {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if fn := calleeFunc(pkg, call); fn != nil {
+		if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return "", "", false // a lock manager or similar, not a sync primitive
+		}
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}

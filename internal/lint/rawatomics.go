@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"strings"
+)
+
+// RawAtomics keeps ad-hoc sync/atomic counters out of the tree: the
+// PR-1 observability migration routed every metric through the
+// internal/obs registry, and this analyzer makes that permanent. Only
+// internal/obs — whose counters, gauges, and histograms are built on
+// atomics — may import sync/atomic.
+var RawAtomics = &Analyzer{
+	Name: "rawatomics",
+	Doc:  "direct sync/atomic use outside internal/obs; counters belong in the obs registry",
+	Run:  runRawAtomics,
+}
+
+func runRawAtomics(p *Pass) {
+	if p.InPackage("internal/obs") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != "sync/atomic" {
+				continue
+			}
+			p.Reportf(imp.Pos(),
+				"sync/atomic imported outside internal/obs; route counters through the obs registry")
+		}
+	}
+}

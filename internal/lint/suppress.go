@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //lint:allow comment.
+type suppression struct {
+	analyzers []string
+	reason    string
+	pos       token.Position
+	used      bool
+}
+
+// collectSuppressions parses every //lint:allow comment in the
+// package. A suppression applies to findings on its own line and on
+// the line directly below (for standalone comments above the code).
+func collectSuppressions(pkg *Package) []*suppression {
+	var out []*suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				s := &suppression{pos: pkg.Fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					s.analyzers = strings.Split(fields[0], ",")
+					s.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// matches reports whether the suppression covers a finding by the
+// given analyzer at the given position.
+func (s *suppression) matches(f Finding) bool {
+	if f.Pos.Filename != s.pos.Filename {
+		return false
+	}
+	if f.Pos.Line != s.pos.Line && f.Pos.Line != s.pos.Line+1 {
+		return false
+	}
+	for _, a := range s.analyzers {
+		if a == f.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions filters findings through the packages'
+// //lint:allow comments. Suppressions must carry a justification and
+// must match at least one finding; violations of either rule are
+// reported as findings of the "suppression" pseudo-analyzer.
+func applySuppressions(pkgs []*Package, findings []Finding) []Finding {
+	var sups []*suppression
+	for _, pkg := range pkgs {
+		sups = append(sups, collectSuppressions(pkg)...)
+	}
+	var out []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, s := range sups {
+			if s.matches(f) {
+				s.used = true
+				if s.reason != "" {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, s := range sups {
+		switch {
+		case len(s.analyzers) == 0:
+			out = append(out, Finding{Analyzer: "suppression", Pos: s.pos,
+				Msg: "//lint:allow needs an analyzer name and a justification"})
+		case s.reason == "":
+			out = append(out, Finding{Analyzer: "suppression", Pos: s.pos,
+				Msg: "//lint:allow " + strings.Join(s.analyzers, ",") + " needs a justification"})
+		case !s.used:
+			out = append(out, Finding{Analyzer: "suppression", Pos: s.pos,
+				Msg: "//lint:allow " + strings.Join(s.analyzers, ",") + " suppresses nothing (stale?)"})
+		}
+	}
+	return out
+}

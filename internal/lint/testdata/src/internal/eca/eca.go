@@ -1,0 +1,21 @@
+// Package eca is a fixture mirror of the engine's rule types, just
+// enough for the couplingtable analyzer to resolve Rule literals.
+package eca
+
+type Coupling int
+
+const (
+	Immediate Coupling = iota + 1
+	Deferred
+	Detached
+	DetachedParallelCausal
+	DetachedSequentialCausal
+	DetachedExclusiveCausal
+)
+
+type Rule struct {
+	Name       string
+	EventKey   string
+	CondMode   Coupling
+	ActionMode Coupling
+}

@@ -1,0 +1,14 @@
+// Package obs is exempt from clockusage and rawatomics: telemetry
+// owns timestamps and atomics by design. Nothing here may be flagged.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+type Counter struct{ n atomic.Uint64 }
+
+func (c *Counter) Inc() { c.n.Add(1) }
+
+func Stamp() time.Time { return time.Now() }

@@ -106,6 +106,19 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketOf(ns)].Add(1)
 }
 
+// Time starts a wall-clock measurement and returns the function that
+// stops it and records the elapsed time:
+//
+//	defer h.Time()()
+//
+// It exists so instrumented packages never touch the wall clock
+// themselves — timing lives here, in the one package the clockusage
+// analyzer exempts.
+func (h *Histogram) Time() func() {
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

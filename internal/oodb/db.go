@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"sync/atomic" //lint:allow rawatomics OID allocator and sink pointer, not metrics
 
 	"repro/internal/clock"
 	"repro/internal/event"
@@ -104,7 +104,7 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.store = st
 		if err := db.loadCatalog(); err != nil {
-			st.Close()
+			_ = st.Close() // opening failed; the close is best-effort cleanup
 			return nil, err
 		}
 	}
@@ -549,7 +549,7 @@ func (db *DB) flushCommit(t *txn.Txn) error {
 			if err := begin(); err != nil {
 				return err
 			}
-			if err := db.store.Delete(tid, rid); err != nil {
+			if err := db.store.Delete(tid, rid); err != nil { //lint:allow lockdiscipline ws is txn-private during the durability callback and storage never re-enters oodb
 				return err
 			}
 		}
@@ -577,7 +577,7 @@ func (db *DB) flushCommit(t *txn.Txn) error {
 		rid, had := db.ridOf[oid]
 		db.mu.Unlock()
 		if had {
-			newRID, err := db.store.Update(tid, rid, rec)
+			newRID, err := db.store.Update(tid, rid, rec) //lint:allow lockdiscipline ws is txn-private during the durability callback and storage never re-enters oodb
 			if err != nil {
 				return err
 			}
@@ -587,7 +587,7 @@ func (db *DB) flushCommit(t *txn.Txn) error {
 				db.mu.Unlock()
 			}
 		} else {
-			rid, err := db.store.Insert(tid, rec)
+			rid, err := db.store.Insert(tid, rec) //lint:allow lockdiscipline ws is txn-private during the durability callback and storage never re-enters oodb
 			if err != nil {
 				return err
 			}
@@ -606,7 +606,7 @@ func (db *DB) flushCommit(t *txn.Txn) error {
 		rootsRID := db.rootsRID
 		db.mu.Unlock()
 		if rootsRID.Valid() {
-			newRID, err := db.store.Update(tid, rootsRID, rec)
+			newRID, err := db.store.Update(tid, rootsRID, rec) //lint:allow lockdiscipline ws is txn-private during the durability callback and storage never re-enters oodb
 			if err != nil {
 				return err
 			}
@@ -614,7 +614,7 @@ func (db *DB) flushCommit(t *txn.Txn) error {
 			db.rootsRID = newRID
 			db.mu.Unlock()
 		} else {
-			rid, err := db.store.Insert(tid, rec)
+			rid, err := db.store.Insert(tid, rec) //lint:allow lockdiscipline ws is txn-private during the durability callback and storage never re-enters oodb
 			if err != nil {
 				return err
 			}
@@ -625,7 +625,7 @@ func (db *DB) flushCommit(t *txn.Txn) error {
 	}
 
 	if begun {
-		return db.store.Commit(tid)
+		return db.store.Commit(tid) //lint:allow lockdiscipline ws is txn-private during the durability callback and storage never re-enters oodb
 	}
 	return nil
 }

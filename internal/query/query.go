@@ -180,7 +180,7 @@ func (p *Processor) CreateIndex(class, attr string) (*HashIndex, error) {
 		ix.add(v, oid)
 	})
 	if buildErr != nil {
-		build.Abort()
+		_ = build.Abort() // buildErr is the failure being reported
 		p.DropIndex(class, attr)
 		return nil, buildErr
 	}

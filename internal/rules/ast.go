@@ -9,6 +9,7 @@ import (
 // RuleDecl is the parsed form of one rule definition.
 type RuleDecl struct {
 	Name       string
+	Line       int // source line of the rule keyword
 	Prio       int
 	Decls      []VarDecl
 	Event      EventExpr

@@ -73,6 +73,7 @@ func (p *parser) errf(format string, args ...any) error {
 
 // rule := "rule" IDENT "{" clause* "}" ";"?
 func (p *parser) rule() (*RuleDecl, error) {
+	line := p.cur().line
 	if err := p.eatIdent("rule"); err != nil {
 		return nil, err
 	}
@@ -83,7 +84,7 @@ func (p *parser) rule() (*RuleDecl, error) {
 	if err := p.eatPunct("{"); err != nil {
 		return nil, err
 	}
-	r := &RuleDecl{Name: name}
+	r := &RuleDecl{Name: name, Line: line}
 	for !p.atPunct("}") {
 		if err := p.clause(r); err != nil {
 			return nil, err

@@ -83,7 +83,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	wal, err := OpenWAL(filepath.Join(dir, "wal.log"))
 	if err != nil {
-		pager.Close()
+		_ = pager.Close() // opening the WAL failed; the close is best-effort cleanup
 		return nil, err
 	}
 	s := &Store{
@@ -99,8 +99,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		wal.Instrument(opts.Metrics)
 	}
 	if err := s.recover(); err != nil {
-		wal.Close()
-		pager.Close()
+		_ = wal.Close()   // recovery failed; the closes are best-effort cleanup
+		_ = pager.Close() // recovery failed; the closes are best-effort cleanup
 		return nil, err
 	}
 	return s, nil
@@ -540,7 +540,7 @@ func (s *Store) Close() error {
 		return err
 	}
 	if err := s.wal.Close(); err != nil {
-		s.pager.Close()
+		_ = s.pager.Close() // the WAL close failure is the error worth reporting
 		return err
 	}
 	return s.pager.Close()

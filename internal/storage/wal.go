@@ -9,7 +9,6 @@ import (
 	"io"
 	"os"
 	"sync"
-	"time"
 
 	"repro/internal/obs"
 )
@@ -119,7 +118,7 @@ func (w *WAL) Instrument(reg *obs.Registry) {
 // Append writes rec to the log, assigning and returning its LSN. The
 // record is buffered; call Sync to force it to stable storage.
 func (w *WAL) Append(rec *LogRecord) (uint64, error) {
-	start := time.Now()
+	defer w.appendDur.Time()()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	rec.LSN = w.nextLSN
@@ -127,7 +126,6 @@ func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 	if err := writeRecord(w.w, rec); err != nil {
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
-	w.appendDur.Observe(time.Since(start))
 	return rec.LSN, nil
 }
 

@@ -175,7 +175,7 @@ func (lt *lockTable) releaseAll(t *Txn) {
 			if ls.queue[i].t == t {
 				w := ls.queue[i]
 				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-				w.grant <- ErrNotActive
+				w.grant <- ErrNotActive //lint:allow lockdiscipline grant channels are buffered (cap 1); the send cannot block
 			} else {
 				i++
 			}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
 
@@ -83,6 +84,10 @@ type Manager struct {
 	commits *obs.Counter
 	aborts  *obs.Counter
 	durs    *obs.Histogram
+
+	// clk stamps transaction begin times and measures lifetimes.
+	// Real by default; SetClock injects a virtual clock in tests.
+	clk clock.Clock
 }
 
 // NewManager returns a transaction manager.
@@ -92,10 +97,16 @@ func NewManager() *Manager {
 		commits: new(obs.Counter),
 		aborts:  new(obs.Counter),
 		durs:    new(obs.Histogram),
+		clk:     clock.NewReal(),
 	}
 	m.locks = newLockTable()
 	return m
 }
+
+// SetClock replaces the manager's time source. Call it before the
+// first Begin; transaction timestamps and lifetime metrics then come
+// from c, which makes them deterministic under a virtual clock.
+func (m *Manager) SetClock(c clock.Clock) { m.clk = c }
 
 // Instrument binds the manager's counters into reg. Call it before
 // the first Begin.
@@ -160,7 +171,7 @@ func (m *Manager) BeginTagged(key, val any) *Txn {
 	t := &Txn{
 		m:        m,
 		id:       id,
-		started:  time.Now(),
+		started:  m.clk.Now(),
 		status:   Active,
 		children: make(map[*Txn]bool),
 		done:     make(chan struct{}),
@@ -189,7 +200,7 @@ func (t *Txn) BeginChild() (*Txn, error) {
 		m:        t.m,
 		id:       id,
 		parent:   t,
-		started:  time.Now(),
+		started:  t.m.clk.Now(),
 		status:   Active,
 		children: make(map[*Txn]bool),
 		done:     make(chan struct{}),
@@ -330,7 +341,7 @@ func (t *Txn) Commit() error {
 	if t.parent == nil {
 		if l := t.m.listener; l != nil {
 			if err := l.BeforeCommit(t); err != nil {
-				t.Abort()
+				_ = t.Abort() // secondary to the EOT error returned below
 				return fmt.Errorf("txn %d: EOT processing: %w", t.id, err)
 			}
 		}
@@ -360,7 +371,7 @@ func (t *Txn) Commit() error {
 		if got := d.on.Wait(); got != d.want {
 			err := fmt.Errorf("%w: txn %d requires txn %d %v, got %v",
 				ErrDependencyFailed, t.id, d.on.id, d.want, got)
-			t.Abort()
+			_ = t.Abort() // secondary to the dependency error returned below
 			return err
 		}
 	}
@@ -368,7 +379,7 @@ func (t *Txn) Commit() error {
 	if t.parent == nil {
 		if cf := t.m.commitFunc; cf != nil {
 			if err := cf(t); err != nil {
-				t.Abort()
+				_ = t.Abort() // secondary to the durable-commit error returned below
 				return fmt.Errorf("txn %d: durable commit: %w", t.id, err)
 			}
 		}
@@ -387,7 +398,7 @@ func (t *Txn) Commit() error {
 
 	if t.parent == nil {
 		t.m.commits.Inc()
-		t.m.durs.Observe(time.Since(t.started))
+		t.m.durs.Observe(t.m.clk.Now().Sub(t.started))
 		t.m.locks.releaseAll(t)
 	} else {
 		// Closed nesting: the parent inherits the child's locks and
@@ -432,7 +443,7 @@ func (t *Txn) abort(cause error) error {
 
 	for _, c := range children {
 		if c.Status() == Active {
-			c.abort(fmt.Errorf("txn: parent %d aborted", t.id))
+			_ = c.abort(fmt.Errorf("txn: parent %d aborted", t.id)) // cascade: child may already be resolved
 		}
 	}
 
@@ -462,7 +473,7 @@ func (t *Txn) abort(cause error) error {
 
 	if t.parent == nil {
 		t.m.aborts.Inc()
-		t.m.durs.Observe(time.Since(t.started))
+		t.m.durs.Observe(t.m.clk.Now().Sub(t.started))
 	}
 	t.m.locks.releaseAll(t)
 	if l := t.m.listener; l != nil {

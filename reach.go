@@ -233,3 +233,19 @@ var NewRealClock = clock.NewReal
 // ParseRules parses rule-language source without registering anything
 // (syntax checking, e.g. for the rulec tool).
 func ParseRules(src string) ([]*rules.RuleDecl, error) { return rules.Parse(src) }
+
+// RuleDiag is a semantic diagnostic from VetRules.
+type RuleDiag = rules.Diag
+
+// RuleVetter accumulates rule names across files so duplicate
+// definitions are caught over a whole rule set.
+type RuleVetter = rules.Vetter
+
+// NewRuleVetter returns a vetter for a multi-file rule set.
+var NewRuleVetter = rules.NewVetter
+
+// VetRules checks parsed rules for semantic errors the parser cannot
+// see: Table 1-invalid coupling/category pairs, cross-transaction
+// composites without validity, unknown consumption policies, and
+// undeclared variable references.
+func VetRules(file string, decls []*rules.RuleDecl) []RuleDiag { return rules.Vet(file, decls) }
