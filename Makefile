@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint all
+.PHONY: build test race vet lint crash all
 
 all: build vet test
 
@@ -22,3 +22,10 @@ vet:
 lint:
 	$(GO) run ./cmd/reachvet
 	$(GO) run ./cmd/rulec -vet examples/*/rules/*.rules
+
+# crash runs the crash-consistency matrix (every workload crashed at
+# every write/fsync boundary, clean and WAL-torn, with second crashes
+# during recovery) plus a short fuzz of the WAL record decoder.
+crash:
+	$(GO) test ./internal/fault/... -run 'TestCrashMatrix|TestHarnessCatchesLostCommit' -count=1
+	$(GO) test ./internal/storage -run FuzzReadRecord -fuzz FuzzReadRecord -fuzztime 10s

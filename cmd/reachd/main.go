@@ -50,7 +50,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /debug/pprof)\n", addr)
+		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /failpoints /debug/pprof)\n", addr)
 	}
 	fmt.Println("REACH shell — an integrated active OODBMS. Type 'help'.")
 	repl(sys, os.Stdin, os.Stdout)

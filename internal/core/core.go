@@ -8,6 +8,7 @@ package core
 import (
 	"repro/internal/clock"
 	"repro/internal/eca"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/query"
@@ -45,6 +46,7 @@ func Open(opts Options) (*System, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	fault.Instrument(reg)
 	dbOpts := opts.DB
 	if opts.Dir != "" {
 		dbOpts.Dir = opts.Dir
@@ -71,9 +73,10 @@ func Open(opts Options) (*System, error) {
 
 // Admin returns the HTTP observability surface over the system's
 // registry and tracer, with a JSON system view contributed by the
-// engine, sentry, and storage stats.
+// engine, sentry, and storage stats, plus the fault registry's
+// /failpoints arming surface.
 func (s *System) Admin() *obs.Admin {
-	return obs.NewAdmin(s.Metrics, s.Tracer, func() any {
+	a := obs.NewAdmin(s.Metrics, s.Tracer, func() any {
 		useful, useless, potential := s.Engine.Dispatcher().Stats()
 		return map[string]any{
 			"engine": s.Engine.Stats(),
@@ -85,6 +88,8 @@ func (s *System) Admin() *obs.Admin {
 			"storage": s.DB.StorageStats(),
 		}
 	})
+	a.Handle("/failpoints", fault.Handler())
+	return a
 }
 
 // Begin starts a top-level transaction.

@@ -1,0 +1,91 @@
+package crash
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/storage"
+)
+
+// TestCrashMatrix is the crash-consistency matrix: every workload,
+// crashed at every write/fsync boundary it generates (clean and
+// WAL-torn), recovered once cleanly and once through a gauntlet of
+// second crashes during recovery itself. See the package comment for
+// the invariants.
+func TestCrashMatrix(t *testing.T) {
+	for _, w := range Workloads() {
+		for _, torn := range []bool{false, true} {
+			name := w.Name + "/clean"
+			if torn {
+				name = w.Name + "/torn-wal"
+			}
+			w, torn := w, torn
+			t.Run(name, func(t *testing.T) {
+				st, err := RunMatrix(w, torn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Boundaries < 10 {
+					t.Fatalf("workload generated only %d write boundaries; the matrix is not exercising anything", st.Boundaries)
+				}
+				if st.RecoveryCrashes < st.Boundaries {
+					t.Fatalf("only %d second crashes across %d boundaries; recovery idempotence barely exercised", st.RecoveryCrashes, st.Boundaries)
+				}
+				t.Logf("%s: %d crash boundaries, %d second crashes during recovery", name, st.Boundaries, st.RecoveryCrashes)
+			})
+		}
+	}
+}
+
+// TestWorkloadsCompleteWithoutCrash pins the dry-run path: every
+// scripted workload must run to completion on a healthy filesystem
+// and leave exactly its committed records behind.
+func TestWorkloadsCompleteWithoutCrash(t *testing.T) {
+	for _, w := range Workloads() {
+		fs := fault.NewShadowFS()
+		res, err := run(fs, w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if !res.completed {
+			t.Fatalf("%s: did not complete", w.Name)
+		}
+		if res.inDoubt != nil {
+			t.Fatalf("%s: in-doubt commit without a crash", w.Name)
+		}
+		if err := verify(fs, res); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+// TestHarnessCatchesLostCommit is the harness's self-test: a store
+// that loses a committed transaction must fail verification. We
+// simulate the loss by committing, crashing without the WAL force
+// (SyncOnCommit=false), and asserting verify rejects the result when
+// told the commit succeeded.
+func TestHarnessCatchesLostCommit(t *testing.T) {
+	fs := fault.NewShadowFS()
+	opts := storeOptions(fs)
+	opts.SyncOnCommit = storage.Bool(false) // deliberately break durability
+	st, err := storage.Open(storeDir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	v := val(0, 1)
+	if _, err := st.Insert(1, []byte(v)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before anything was forced; the "committed" record is gone.
+	fs.Crash()
+	res := &runResult{committed: map[int]string{0: v}}
+	if err := verify(fs, res); err == nil {
+		t.Fatal("verify accepted a lost committed transaction; the harness is toothless")
+	}
+}

@@ -1,0 +1,261 @@
+// Package fault is the failure-injection substrate for the storage
+// stack: a registry of named failpoints threaded through the pager,
+// the write-ahead log, and buffer-pool eviction, plus a shadow-file
+// layer (ShadowFS) that simulates machine crashes by discarding bytes
+// that were never fsynced.
+//
+// The design goal is that a disarmed failpoint is effectively free: a
+// Hit on the hot path is a single atomic load of a process-wide armed
+// count, and only when at least one site is armed does the call fall
+// through to the locked slow path. Production binaries run with the
+// package wired in; tests and the /failpoints admin surface arm
+// policies at will.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic" //lint:allow rawatomics the disarmed fast-path gate is a control-flow flag, not a metric
+
+	"repro/internal/obs"
+)
+
+// Failpoint site names threaded through the storage layer. Sites are
+// plain strings so tests can register ad-hoc sites, but the storage
+// stack only consults these.
+const (
+	SitePagerRead     = "pager.read"
+	SitePagerWrite    = "pager.write"
+	SitePagerSync     = "pager.sync"
+	SitePagerAllocate = "pager.allocate"
+	SiteWALAppend     = "wal.append"
+	SiteWALFlush      = "wal.flush"
+	SiteWALSync       = "wal.sync"
+	SiteBufferEvict   = "buffer.evict"
+)
+
+// Sites lists the failpoint sites the storage stack consults, for the
+// admin surface and documentation.
+func Sites() []string {
+	return []string{
+		SitePagerRead, SitePagerWrite, SitePagerSync, SitePagerAllocate,
+		SiteWALAppend, SiteWALFlush, SiteWALSync, SiteBufferEvict,
+	}
+}
+
+// Errors injected by armed failpoints.
+var (
+	// ErrInjected is the base error of every fault the registry
+	// injects (except simulated crashes).
+	ErrInjected = errors.New("fault: injected failure")
+	// ErrCrashed is the base error injected by the "crash" policy and
+	// returned by a ShadowFS once its crash point has been reached: the
+	// simulated machine is dead and every subsequent I/O fails.
+	ErrCrashed = errors.New("fault: simulated crash")
+)
+
+// Outcome describes what an armed failpoint injects at a site.
+type Outcome struct {
+	// Err is the injected error; never nil on a non-nil Outcome.
+	Err error
+	// Torn is the number of payload bytes a write site should apply
+	// before failing, simulating a torn write. Negative means the
+	// write must not happen at all. Non-write sites ignore it.
+	Torn int
+}
+
+type policyKind int
+
+const (
+	policyError      policyKind = iota + 1 // every hit fails
+	policyErrorOnce                        // first hit fails, then disarms
+	policyErrorEvery                       // every Nth hit fails
+	policyTorn                             // first hit tears the write, then disarms
+	policyCrash                            // every hit fails with ErrCrashed (sticky)
+)
+
+type failpoint struct {
+	spec     string
+	kind     policyKind
+	every    uint64
+	torn     int
+	hits     uint64
+	injected uint64
+	counter  *obs.Counter
+}
+
+var (
+	// armed counts armed sites; Hit's fast path loads it and bails
+	// while zero, so a disarmed tree pays one atomic load per site.
+	armed int32
+
+	mu    sync.Mutex
+	sites = map[string]*failpoint{}
+	reg   *obs.Registry
+)
+
+// Instrument binds the registry's per-site injection counters into r
+// as reach_fault_injected_total{site=...}. Sites armed before and
+// after the call are both covered.
+func Instrument(r *obs.Registry) {
+	mu.Lock()
+	defer mu.Unlock()
+	reg = r
+	for site, fp := range sites {
+		fp.counter = counterForLocked(site)
+	}
+}
+
+func counterForLocked(site string) *obs.Counter {
+	if reg == nil {
+		return new(obs.Counter)
+	}
+	return reg.Counter("reach_fault_injected_total",
+		"Failpoint-injected failures by site.", "site", site)
+}
+
+// Arm installs a policy at site. Policy specs:
+//
+//	error           every hit fails
+//	error-once      the first hit fails, then the site disarms
+//	error-every=N   every Nth hit fails (N >= 1)
+//	torn=N          the first write tears after N bytes, then disarms
+//	crash           every hit fails with ErrCrashed (sticky)
+//	off             disarm the site
+func Arm(site, policy string) error {
+	if site == "" {
+		return errors.New("fault: empty site name")
+	}
+	fp := &failpoint{spec: policy, torn: -1}
+	switch {
+	case policy == "off":
+		Disarm(site)
+		return nil
+	case policy == "error":
+		fp.kind = policyError
+	case policy == "error-once":
+		fp.kind = policyErrorOnce
+	case policy == "crash":
+		fp.kind = policyCrash
+	case strings.HasPrefix(policy, "error-every="):
+		n, err := strconv.ParseUint(policy[len("error-every="):], 10, 32)
+		if err != nil || n < 1 {
+			return fmt.Errorf("fault: bad policy %q: want error-every=N with N >= 1", policy)
+		}
+		fp.kind = policyErrorEvery
+		fp.every = n
+	case strings.HasPrefix(policy, "torn="):
+		n, err := strconv.ParseUint(policy[len("torn="):], 10, 31)
+		if err != nil {
+			return fmt.Errorf("fault: bad policy %q: want torn=N with N >= 0", policy)
+		}
+		fp.kind = policyTorn
+		fp.torn = int(n)
+	default:
+		return fmt.Errorf("fault: unknown policy %q", policy)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fp.counter = counterForLocked(site)
+	if old, ok := sites[site]; ok {
+		// Re-arming preserves the hit statistics of the old policy.
+		fp.hits, fp.injected = old.hits, old.injected
+	} else {
+		atomic.AddInt32(&armed, 1)
+	}
+	sites[site] = fp
+	return nil
+}
+
+// Disarm removes the policy at site, reporting whether one was armed.
+func Disarm(site string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[site]; !ok {
+		return false
+	}
+	delete(sites, site)
+	atomic.AddInt32(&armed, -1)
+	return true
+}
+
+// DisarmAll removes every armed policy. Tests defer it.
+func DisarmAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	for site := range sites {
+		delete(sites, site)
+		atomic.AddInt32(&armed, -1)
+	}
+}
+
+// Status describes one armed failpoint for List and the admin surface.
+type Status struct {
+	Site     string `json:"site"`
+	Policy   string `json:"policy"`
+	Hits     uint64 `json:"hits"`
+	Injected uint64 `json:"injected"`
+}
+
+// List reports the armed failpoints, sorted by site name.
+func List() []Status {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Status, 0, len(sites))
+	for site, fp := range sites {
+		out = append(out, Status{Site: site, Policy: fp.spec, Hits: fp.hits, Injected: fp.injected})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// Hit evaluates the failpoint at site and returns the outcome to
+// inject, or nil to proceed normally. The disarmed fast path is a
+// single atomic load.
+func Hit(site string) *Outcome {
+	if atomic.LoadInt32(&armed) == 0 {
+		return nil
+	}
+	return hitSlow(site)
+}
+
+func hitSlow(site string) *Outcome {
+	mu.Lock()
+	defer mu.Unlock()
+	fp, ok := sites[site]
+	if !ok {
+		return nil
+	}
+	fp.hits++
+	inject := false
+	base := ErrInjected
+	torn := -1
+	switch fp.kind {
+	case policyError:
+		inject = true
+	case policyErrorOnce:
+		inject = true
+		delete(sites, site)
+		atomic.AddInt32(&armed, -1)
+	case policyErrorEvery:
+		inject = fp.hits%fp.every == 0
+	case policyTorn:
+		inject = true
+		torn = fp.torn
+		delete(sites, site)
+		atomic.AddInt32(&armed, -1)
+	case policyCrash:
+		inject = true
+		base = ErrCrashed
+	}
+	if !inject {
+		return nil
+	}
+	fp.injected++
+	fp.counter.Inc()
+	return &Outcome{Err: fmt.Errorf("%w (site %s, policy %s)", base, site, fp.spec), Torn: torn}
+}

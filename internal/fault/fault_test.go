@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	DisarmAll()
+	if got := Hit(SitePagerWrite); got != nil {
+		t.Fatalf("disarmed Hit = %+v, want nil", got)
+	}
+}
+
+func TestErrorOncePolicy(t *testing.T) {
+	defer DisarmAll()
+	if err := Arm(SiteWALSync, "error-once"); err != nil {
+		t.Fatal(err)
+	}
+	o := Hit(SiteWALSync)
+	if o == nil || !errors.Is(o.Err, ErrInjected) {
+		t.Fatalf("first hit = %+v, want ErrInjected", o)
+	}
+	if o := Hit(SiteWALSync); o != nil {
+		t.Fatalf("second hit = %+v, want nil (once policy disarms)", o)
+	}
+	if len(List()) != 0 {
+		t.Fatalf("List after once-fire = %v, want empty", List())
+	}
+}
+
+func TestErrorEveryPolicy(t *testing.T) {
+	defer DisarmAll()
+	if err := Arm(SitePagerRead, "error-every=3"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if Hit(SitePagerRead) != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 3 || fired[1] != 6 || fired[2] != 9 {
+		t.Fatalf("error-every=3 fired at %v, want [3 6 9]", fired)
+	}
+	st := List()
+	if len(st) != 1 || st[0].Hits != 9 || st[0].Injected != 3 {
+		t.Fatalf("List = %+v, want hits=9 injected=3", st)
+	}
+}
+
+func TestTornPolicy(t *testing.T) {
+	defer DisarmAll()
+	if err := Arm(SitePagerWrite, "torn=100"); err != nil {
+		t.Fatal(err)
+	}
+	o := Hit(SitePagerWrite)
+	if o == nil || o.Torn != 100 || !errors.Is(o.Err, ErrInjected) {
+		t.Fatalf("torn hit = %+v, want Torn=100", o)
+	}
+	if Hit(SitePagerWrite) != nil {
+		t.Fatal("torn policy did not disarm after firing")
+	}
+}
+
+func TestCrashPolicySticky(t *testing.T) {
+	defer DisarmAll()
+	if err := Arm(SiteWALFlush, "crash"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		o := Hit(SiteWALFlush)
+		if o == nil || !errors.Is(o.Err, ErrCrashed) {
+			t.Fatalf("hit %d = %+v, want sticky ErrCrashed", i, o)
+		}
+	}
+}
+
+func TestArmRejectsBadPolicies(t *testing.T) {
+	for _, bad := range []string{"", "eror", "error-every=0", "error-every=x", "torn=-1"} {
+		if err := Arm(SitePagerSync, bad); err == nil {
+			Disarm(SitePagerSync)
+			t.Fatalf("Arm(%q) succeeded, want error", bad)
+		}
+	}
+	if err := Arm("", "error"); err == nil {
+		t.Fatal("Arm with empty site succeeded")
+	}
+}
+
+func TestOffPolicyDisarms(t *testing.T) {
+	defer DisarmAll()
+	if err := Arm(SiteBufferEvict, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Arm(SiteBufferEvict, "off"); err != nil {
+		t.Fatal(err)
+	}
+	if Hit(SiteBufferEvict) != nil {
+		t.Fatal("site still armed after policy off")
+	}
+}
+
+func TestInstrumentCountsInjections(t *testing.T) {
+	defer DisarmAll()
+	defer Instrument(nil)
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	if err := Arm(SiteWALAppend, "error"); err != nil {
+		t.Fatal(err)
+	}
+	Hit(SiteWALAppend)
+	Hit(SiteWALAppend)
+	c := reg.Counter("reach_fault_injected_total",
+		"Failpoint-injected failures by site.", "site", SiteWALAppend)
+	if c.Value() != 2 {
+		t.Fatalf("reach_fault_injected_total = %d, want 2", c.Value())
+	}
+}
+
+func TestFailpointsHandler(t *testing.T) {
+	defer DisarmAll()
+	h := Handler()
+
+	post := func(site, policy string) *httptest.ResponseRecorder {
+		form := url.Values{"site": {site}, "policy": {policy}}
+		req := httptest.NewRequest("POST", "/failpoints", strings.NewReader(form.Encode()))
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := post(SiteWALSync, "error-once"); rec.Code != 200 {
+		t.Fatalf("arm status = %d body=%s", rec.Code, rec.Body)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/failpoints", nil))
+	body, _ := io.ReadAll(rec.Body)
+	if !strings.Contains(string(body), SiteWALSync) || !strings.Contains(string(body), "error-once") {
+		t.Fatalf("GET body %s does not list the armed site", body)
+	}
+	if rec := post(SiteWALSync, "bogus"); rec.Code != 400 {
+		t.Fatalf("bad policy status = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/failpoints", nil))
+	if rec.Code != 200 || len(List()) != 0 {
+		t.Fatalf("DELETE all: status=%d armed=%v", rec.Code, List())
+	}
+}
+
+// BenchmarkDisarmedHit documents the disarmed fast path: one atomic
+// load, no allocation — the cost the storage stack pays per I/O when
+// no failpoint is armed.
+func BenchmarkDisarmedHit(b *testing.B) {
+	DisarmAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Hit(SitePagerWrite) != nil {
+			b.Fatal("armed?")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is the storage stack's file-handle abstraction. The pager and
+// the write-ahead log perform all their I/O through it, so a test can
+// substitute a ShadowFS and simulate crashes; production uses OS,
+// which passes straight through to *os.File.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	// Size reports the current length of the file in bytes.
+	Size() (int64, error)
+}
+
+// FS opens files for the storage stack.
+type FS interface {
+	// OpenFile opens path read-write, creating it if necessary.
+	OpenFile(path string) (File, error)
+}
+
+// OS is the passthrough FS over the real filesystem.
+type OS struct{}
+
+// OpenFile implements FS.
+func (OS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("fault: stat %s: %w", f.Name(), err)
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns the /failpoints admin handler:
+//
+//	GET              list armed failpoints (JSON)
+//	POST ?site=S&policy=P   arm S with policy P ("off" disarms)
+//	DELETE ?site=S   disarm S; without site, disarm everything
+//
+// Policies are the Arm specs: error, error-once, error-every=N,
+// torn=N, crash, off.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, List())
+		case http.MethodPost, http.MethodPut:
+			site := r.FormValue("site")
+			policy := r.FormValue("policy")
+			if site == "" || policy == "" {
+				http.Error(w, "need site= and policy= parameters", http.StatusBadRequest)
+				return
+			}
+			if err := Arm(site, policy); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, http.StatusOK, List())
+		case http.MethodDelete:
+			if site := r.URL.Query().Get("site"); site != "" {
+				Disarm(site)
+			} else {
+				DisarmAll()
+			}
+			writeJSON(w, http.StatusOK, List())
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // response-writer errors are the client's problem
+}

@@ -1,0 +1,344 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// ShadowFS is an in-memory filesystem that models crash consistency:
+// every file keeps a volatile image (what the running process sees)
+// and a durable image (what has been fsynced). Crash discards the
+// volatile image, exactly like pulling the plug discards the page
+// cache — bytes that were never synced are gone.
+//
+// CrashAfter schedules a crash at a write-operation boundary: after n
+// successful write operations (Write, WriteAt, Truncate, Sync across
+// all files), every subsequent operation fails with ErrCrashed. The
+// crash-consistency harness sweeps n across a workload's full range
+// of boundaries.
+type ShadowFS struct {
+	mu       sync.Mutex
+	files    map[string]*shadowData
+	gen      int // bumped by Crash; stale handles from the dead process go inert
+	writeOps int
+	crashAt  int    // write-op index at which the crash fires; -1 = never
+	tornPath string // file whose crashing write tears (prefix reaches durable)
+	crashed  bool
+	handles  int
+}
+
+type shadowData struct {
+	durable  []byte
+	volatile []byte
+}
+
+// NewShadowFS returns an empty shadow filesystem.
+func NewShadowFS() *ShadowFS {
+	return &ShadowFS{files: map[string]*shadowData{}, crashAt: -1}
+}
+
+// OpenFile implements FS. Opening a file on a crashed filesystem
+// fails; call Crash to complete the simulated reboot first.
+func (fs *ShadowFS) OpenFile(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, fmt.Errorf("fault: open %s: %w", path, ErrCrashed)
+	}
+	d, ok := fs.files[path]
+	if !ok {
+		d = &shadowData{}
+		fs.files[path] = d
+	}
+	fs.handles++
+	return &ShadowFile{fs: fs, d: d, path: path, gen: fs.gen}, nil
+}
+
+// CrashAfter schedules the crash: the first n write operations
+// succeed, and the (n+1)th — and everything after it — fails with
+// ErrCrashed. If tornPath is non-empty and the crashing operation is
+// a data write on that file, a prefix of the payload reaches the
+// durable image (a torn write at power loss); otherwise the crashing
+// operation has no effect. Pass n < 0 to cancel the schedule.
+func (fs *ShadowFS) CrashAfter(n int, tornPath string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAt = n
+	fs.tornPath = tornPath
+	fs.writeOps = 0
+}
+
+// Crash completes the simulated reboot: every file's volatile image
+// is replaced by its durable image, outstanding handles of the dead
+// process go inert, and the operation counter and crash schedule
+// reset. The filesystem is usable again afterwards.
+func (fs *ShadowFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, d := range fs.files {
+		d.volatile = append([]byte(nil), d.durable...)
+	}
+	fs.gen++
+	fs.handles = 0
+	fs.writeOps = 0
+	fs.crashAt = -1
+	fs.tornPath = ""
+	fs.crashed = false
+}
+
+// Crashed reports whether the scheduled crash point has been reached.
+func (fs *ShadowFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// WriteOps reports the number of write operations admitted so far —
+// the number of crash boundaries a completed workload exposes.
+func (fs *ShadowFS) WriteOps() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writeOps
+}
+
+// OpenHandles reports the number of live (unclosed, current-
+// generation) file handles — the fd-leak check for Close paths.
+func (fs *ShadowFS) OpenHandles() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.handles
+}
+
+// Clone returns an independent copy of the filesystem's contents with
+// no crash scheduled, so one crash point can be recovered from twice
+// (once cleanly, once with a second crash during recovery).
+func (fs *ShadowFS) Clone() *ShadowFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := NewShadowFS()
+	for path, d := range fs.files {
+		out.files[path] = &shadowData{
+			durable:  append([]byte(nil), d.durable...),
+			volatile: append([]byte(nil), d.volatile...),
+		}
+	}
+	return out
+}
+
+// admitWrite charges one write operation against the crash schedule.
+// It returns tear=true when this is the crashing operation and the
+// caller's payload should reach the durable image as a torn prefix.
+func (fs *ShadowFS) admitWriteLocked(path string) (tear bool, err error) {
+	if fs.crashed {
+		return false, ErrCrashed
+	}
+	if fs.crashAt >= 0 && fs.writeOps >= fs.crashAt {
+		fs.crashed = true
+		return fs.tornPath != "" && strings.HasSuffix(path, fs.tornPath), ErrCrashed
+	}
+	fs.writeOps++
+	return false, nil
+}
+
+// ShadowFile is a handle onto a ShadowFS file.
+type ShadowFile struct {
+	fs     *ShadowFS
+	d      *shadowData
+	path   string
+	gen    int
+	pos    int64
+	closed bool
+}
+
+func (f *ShadowFile) stale() bool { return f.closed || f.gen != f.fs.gen }
+
+func (f *ShadowFile) check() error {
+	if f.stale() {
+		return os.ErrClosed
+	}
+	if f.fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// ReadAt implements io.ReaderAt with os.File semantics: a short read
+// at end of file returns io.EOF.
+func (f *ShadowFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if off >= int64(len(f.d.volatile)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.volatile[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Read implements io.Reader at the handle's seek position.
+func (f *ShadowFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if f.pos >= int64(len(f.d.volatile)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.volatile[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+// writeLocked applies p at off to the volatile image, extending it
+// with zeros if off lies past the current end.
+func (d *shadowData) writeLocked(p []byte, off int64) {
+	if need := off + int64(len(p)); need > int64(len(d.volatile)) {
+		grown := make([]byte, need)
+		copy(grown, d.volatile)
+		d.volatile = grown
+	}
+	copy(d.volatile[off:], p)
+}
+
+// tornLocked applies a torn prefix of p at off to BOTH images: the
+// device wrote part of the payload as power failed, so the fragment
+// survives the reboot even though the write was never acknowledged.
+func (d *shadowData) tornLocked(p []byte, off int64) {
+	half := p[:len(p)/2]
+	d.writeLocked(half, off)
+	if need := off + int64(len(half)); need > int64(len(d.durable)) {
+		grown := make([]byte, need)
+		copy(grown, d.durable)
+		d.durable = grown
+	}
+	copy(d.durable[off:], half)
+}
+
+// WriteAt implements io.WriterAt.
+func (f *ShadowFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.stale() {
+		return 0, os.ErrClosed
+	}
+	tear, err := f.fs.admitWriteLocked(f.path)
+	if err != nil {
+		if tear && len(p) > 0 {
+			f.d.tornLocked(p, off)
+		}
+		return 0, err
+	}
+	f.d.writeLocked(p, off)
+	return len(p), nil
+}
+
+// Write implements io.Writer at the handle's seek position.
+func (f *ShadowFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.stale() {
+		return 0, os.ErrClosed
+	}
+	tear, err := f.fs.admitWriteLocked(f.path)
+	if err != nil {
+		if tear && len(p) > 0 {
+			f.d.tornLocked(p, f.pos)
+		}
+		return 0, err
+	}
+	f.d.writeLocked(p, f.pos)
+	f.pos += int64(len(p))
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (f *ShadowFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		f.pos = offset
+	case io.SeekCurrent:
+		f.pos += offset
+	case io.SeekEnd:
+		f.pos = int64(len(f.d.volatile)) + offset
+	default:
+		return 0, fmt.Errorf("fault: seek whence %d", whence)
+	}
+	if f.pos < 0 {
+		f.pos = 0
+		return 0, fmt.Errorf("fault: negative seek offset")
+	}
+	return f.pos, nil
+}
+
+// Truncate resizes the volatile image; the durable image changes only
+// at the next Sync, so an unsynced truncation is undone by a crash.
+func (f *ShadowFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.stale() {
+		return os.ErrClosed
+	}
+	if _, err := f.fs.admitWriteLocked(f.path); err != nil {
+		return err
+	}
+	switch {
+	case size <= int64(len(f.d.volatile)):
+		f.d.volatile = f.d.volatile[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, f.d.volatile)
+		f.d.volatile = grown
+	}
+	return nil
+}
+
+// Sync makes the volatile image durable.
+func (f *ShadowFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.stale() {
+		return os.ErrClosed
+	}
+	if _, err := f.fs.admitWriteLocked(f.path); err != nil {
+		return err
+	}
+	f.d.durable = append([]byte(nil), f.d.volatile...)
+	return nil
+}
+
+// Size reports the volatile length.
+func (f *ShadowFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	return int64(len(f.d.volatile)), nil
+}
+
+// Close releases the handle. Closing never syncs — matching POSIX,
+// where close() provides no durability.
+func (f *ShadowFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.stale() {
+		return os.ErrClosed
+	}
+	f.closed = true
+	f.fs.handles--
+	return nil
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestShadowCrashDiscardsUnsyncedBytes(t *testing.T) {
+	fs := NewShadowFS()
+	f, err := fs.OpenFile("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("synced.")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	f2, err := fs.OpenFile("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "synced." {
+		t.Fatalf("after crash: %q, want only the synced prefix", got)
+	}
+}
+
+func TestShadowCrashAfterBoundary(t *testing.T) {
+	fs := NewShadowFS()
+	f, _ := fs.OpenFile("data.db")
+	fs.CrashAfter(2, "")
+	if _, err := f.WriteAt([]byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("b"), 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("third write err = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("fs not crashed after boundary")
+	}
+	// Everything fails now, including reads and opens.
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read err = %v, want ErrCrashed", err)
+	}
+	if _, err := fs.OpenFile("data.db"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open err = %v, want ErrCrashed", err)
+	}
+	fs.Crash()
+	f3, err := fs.OpenFile("data.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(f3)
+	if string(got) != "a" {
+		t.Fatalf("durable image = %q, want %q", got, "a")
+	}
+}
+
+func TestShadowTornWriteReachesDurable(t *testing.T) {
+	fs := NewShadowFS()
+	f, _ := fs.OpenFile("dir/wal.log")
+	if _, err := f.Write([]byte("head")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAfter(0, "wal.log")
+	if _, err := f.Write([]byte("12345678")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write err = %v, want ErrCrashed", err)
+	}
+	fs.Crash()
+	f2, _ := fs.OpenFile("dir/wal.log")
+	got, _ := io.ReadAll(f2)
+	if string(got) != "head1234" {
+		t.Fatalf("after torn crash: %q, want synced head + half the torn payload", got)
+	}
+}
+
+func TestShadowTruncateIsVolatileUntilSync(t *testing.T) {
+	fs := NewShadowFS()
+	f, _ := fs.OpenFile("wal.log")
+	if _, err := f.Write(bytes.Repeat([]byte("x"), 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 3 {
+		t.Fatalf("post-truncate size = %d, want 3", sz)
+	}
+	fs.Crash()
+	f2, _ := fs.OpenFile("wal.log")
+	if sz, _ := f2.Size(); sz != 10 {
+		t.Fatalf("unsynced truncate survived crash: size = %d, want 10", sz)
+	}
+}
+
+func TestShadowStaleHandlesAfterCrash(t *testing.T) {
+	fs := NewShadowFS()
+	f, _ := fs.OpenFile("data.db")
+	fs.Crash()
+	if _, err := f.Write([]byte("zombie")); err == nil {
+		t.Fatal("stale handle write succeeded after crash")
+	}
+	if fs.OpenHandles() != 0 {
+		t.Fatalf("OpenHandles = %d after crash, want 0", fs.OpenHandles())
+	}
+}
+
+func TestShadowHandleAccounting(t *testing.T) {
+	fs := NewShadowFS()
+	a, _ := fs.OpenFile("a")
+	b, _ := fs.OpenFile("b")
+	if fs.OpenHandles() != 2 {
+		t.Fatalf("OpenHandles = %d, want 2", fs.OpenHandles())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err == nil {
+		t.Fatal("double close succeeded")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.OpenHandles() != 0 {
+		t.Fatalf("OpenHandles = %d after closes, want 0", fs.OpenHandles())
+	}
+}
+
+func TestShadowSeekAndReadAtSemantics(t *testing.T) {
+	fs := NewShadowFS()
+	f, _ := fs.OpenFile("x")
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := f.Seek(1, io.SeekStart); err != nil || pos != 1 {
+		t.Fatalf("Seek = %d, %v", pos, err)
+	}
+	buf := make([]byte, 2)
+	if n, err := f.Read(buf); err != nil || string(buf[:n]) != "el" {
+		t.Fatalf("Read = %q, %v", buf[:n], err)
+	}
+	// Short ReadAt at EOF behaves like os.File.
+	n, err := f.ReadAt(make([]byte, 10), 3)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("short ReadAt = %d, %v; want 2, io.EOF", n, err)
+	}
+}

@@ -27,8 +27,12 @@ var LockDiscipline = &Analyzer{
 // lockLeafPkgs are callee packages safe to invoke under a lock: they
 // are lock-leaf by design and never re-enter engine code. algebra is
 // on the list because composition is pure computation — the composer
-// state machines own no locks, channels, or I/O.
-var lockLeafPkgs = []string{"internal/obs", "internal/event", "internal/clock", "internal/algebra"}
+// state machines own no locks, channels, or I/O. fault is on the
+// list because the storage stack consults failpoints and performs
+// file I/O through fault.File inside its critical sections; the
+// fault package only ever takes its own registry/shadow-fs mutex and
+// calls into obs, never back into storage or the engine.
+var lockLeafPkgs = []string{"internal/obs", "internal/event", "internal/clock", "internal/algebra", "internal/fault"}
 
 // lockSafeCallees are individual cross-package functions verified to
 // be lock-free pure accessors, matched by FullName suffix.

@@ -18,6 +18,9 @@ type Admin struct {
 	// system, when set, contributes subsystem snapshots (engine
 	// stats, storage stats, ...) to /stats.
 	system func() any
+	// extras are handlers other subsystems contribute via Handle
+	// (e.g. the fault registry's /failpoints surface).
+	extras map[string]http.Handler
 }
 
 // NewAdmin builds an admin surface over a registry and tracer; system
@@ -26,12 +29,24 @@ func NewAdmin(reg *Registry, tracer *Tracer, system func() any) *Admin {
 	return &Admin{reg: reg, tracer: tracer, system: system}
 }
 
+// Handle registers an extra handler at pattern, letting subsystems
+// extend the admin surface without obs depending on them. Call it
+// before Mux or Serve.
+func (a *Admin) Handle(pattern string, h http.Handler) {
+	if a.extras == nil {
+		a.extras = make(map[string]http.Handler)
+	}
+	a.extras[pattern] = h
+}
+
 // Mux returns the admin handler:
 //
 //	/metrics        Prometheus text exposition
 //	/stats          JSON metrics snapshot (+ system view)
 //	/traces?n=20    recent event-lifecycle traces, newest first
 //	/debug/pprof/   stdlib profiler
+//
+// plus any handlers registered with Handle.
 func (a *Admin) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
@@ -42,6 +57,9 @@ func (a *Admin) Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range a.extras {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -151,6 +152,9 @@ func (bp *BufferPool) evictLocked() error {
 			continue
 		}
 		if fr.dirty {
+			if fp := fault.Hit(fault.SiteBufferEvict); fp != nil {
+				return fmt.Errorf("storage: evict page %d: %w", id, fp.Err)
+			}
 			if err := bp.pager.Write(id, &fr.page); err != nil {
 				return err
 			}

@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestCommitInDoubtPoisonsStore drives the in-doubt commit protocol:
+// the commit record is appended but the fsync fails, so Commit must
+// return ErrInDoubt, the store must refuse all further mutation and
+// checkpointing, and Close must neither checkpoint nor leak handles.
+// Reopening replays the log that actually reached stable storage and
+// resolves the doubt.
+func TestCommitInDoubtPoisonsStore(t *testing.T) {
+	defer fault.DisarmAll()
+	fs := fault.NewShadowFS()
+	s, err := Open("db", Options{FS: fs, BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	rid, err := s.Insert(1, []byte("survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(fault.SiteWALSync, "error-once"); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Commit(1)
+	if !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("Commit with failing fsync = %v, want ErrInDoubt", err)
+	}
+	// The store is poisoned: every mutating entry point fails the same way.
+	if err := s.Begin(2); !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("Begin on poisoned store = %v, want ErrInDoubt", err)
+	}
+	if _, err := s.Insert(2, []byte("x")); !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("Insert on poisoned store = %v, want ErrInDoubt", err)
+	}
+	if err := s.Checkpoint(); !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("Checkpoint on poisoned store = %v, want ErrInDoubt", err)
+	}
+	// Reads still work: the doubt is about durability, not the cache.
+	if got, err := s.Get(rid); err != nil || string(got) != "survivor" {
+		t.Fatalf("Get on poisoned store = %q, %v", got, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close on poisoned store: %v", err)
+	}
+	if n := fs.OpenHandles(); n != 0 {
+		t.Fatalf("%d file handles leaked by Close on a poisoned store", n)
+	}
+	// Close's final WAL flush succeeded (the failpoint was one-shot), so
+	// the late force resolved the in-doubt transaction to committed.
+	s2, err := Open("db", Options{FS: fs, BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	found := 0
+	if err := s2.Scan(func(_ RID, data []byte) {
+		if string(data) == "survivor" {
+			found++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if found != 1 {
+		t.Fatalf("after reopen found %d copies of the committed record, want 1", found)
+	}
+}
+
+// TestCloseClosesHandlesWhenCheckpointFails is the fd-leak
+// regression: Close used to return the checkpoint error without
+// closing the WAL and pager handles. The shadow filesystem counts
+// handles, so the leak is directly observable.
+func TestCloseClosesHandlesWhenCheckpointFails(t *testing.T) {
+	defer fault.DisarmAll()
+	fs := fault.NewShadowFS()
+	s, err := Open("db", Options{FS: fs, BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(1, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(fault.SitePagerSync, "error-once"); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Close()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Close with failing checkpoint = %v, want the injected sync error", err)
+	}
+	if n := fs.OpenHandles(); n != 0 {
+		t.Fatalf("%d file handles leaked by Close when Checkpoint failed", n)
+	}
+	// The checkpoint failed before the WAL was truncated, so recovery
+	// still has the full log and loses nothing.
+	s2, err := Open("db", Options{FS: fs, BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	found := 0
+	if err := s2.Scan(func(_ RID, data []byte) {
+		if string(data) == "keep" {
+			found++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if found != 1 {
+		t.Fatalf("after failed-checkpoint Close found %d copies, want 1", found)
+	}
+}
+
+// TestCloseWithActiveTxnSyncsAndCloses pins the other half of the
+// Close contract: with a transaction still in flight Close must not
+// return ErrTxnActive (the old race made that possible even when the
+// caller had committed everything), must force the log, and must
+// close both handles.
+func TestCloseWithActiveTxnSyncsAndCloses(t *testing.T) {
+	fs := fault.NewShadowFS()
+	s, err := Open("db", Options{FS: fs, BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(1, []byte("uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close with active txn = %v, want nil (sync, no checkpoint)", err)
+	}
+	if n := fs.OpenHandles(); n != 0 {
+		t.Fatalf("%d file handles leaked by Close with an active transaction", n)
+	}
+	s2, err := Open("db", Options{FS: fs, BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Scan(func(_ RID, data []byte) {
+		t.Fatalf("uncommitted record %q survived Close + recovery", data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseConcurrentWithMutators is the race smoke test for the
+// single-critical-section Close: transactions beginning and committing
+// concurrently with Close must never produce a spurious ErrTxnActive,
+// a panic, or (under -race) a data race.
+func TestCloseConcurrentWithMutators(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		s, err := Open(t.TempDir(), Options{BufferPoolPages: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					txn := uint64(1 + g*1000 + i)
+					if err := s.Begin(txn); err != nil {
+						return
+					}
+					if _, err := s.Insert(txn, []byte("race")); err != nil {
+						return
+					}
+					if err := s.Commit(txn); err != nil {
+						return
+					}
+				}
+			}(g)
+		}
+		close(start)
+		if err := s.Close(); errors.Is(err, ErrTxnActive) {
+			t.Fatalf("round %d: Close returned ErrTxnActive; the close decision raced the mutators", round)
+		}
+		wg.Wait()
+	}
+}
+
+// TestEvictionFailpointSurfaces checks the buffer-pool eviction site:
+// with a tiny pool and an armed evict failpoint, filling the pool must
+// surface the injected error instead of silently losing the dirty page.
+func TestEvictionFailpointSurfaces(t *testing.T) {
+	defer fault.DisarmAll()
+	fs := fault.NewShadowFS()
+	s, err := Open("db", Options{FS: fs, BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(fault.SiteBufferEvict, "error"); err != nil {
+		t.Fatal(err)
+	}
+	// Each transaction dirties fresh pages and commits, clearing the
+	// no-steal protection but leaving the frames dirty; once the pool
+	// is over capacity the next insert must evict one of them.
+	payload := make([]byte, 3000) // ~2 records per page; 4 frames fill fast
+	var evictErr error
+	for txn := uint64(1); txn <= 32 && evictErr == nil; txn++ {
+		if err := s.Begin(txn); err != nil {
+			evictErr = err
+			break
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := s.Insert(txn, payload); err != nil {
+				evictErr = err
+				break
+			}
+		}
+		if evictErr == nil {
+			if err := s.Commit(txn); err != nil {
+				evictErr = err
+			}
+		}
+	}
+	if !errors.Is(evictErr, fault.ErrInjected) {
+		t.Fatalf("filling a 4-frame pool under an armed evict failpoint = %v, want the injected error", evictErr)
+	}
+	fault.DisarmAll()
+	_ = s.Close() // the pool still holds the dirty page; Close flushes it normally
+	if n := fs.OpenHandles(); n != 0 {
+		t.Fatalf("%d file handles leaked", n)
+	}
+}
+
+// TestPagerReadFailpoint checks the read site end to end: an armed
+// pager.read policy must surface through the buffer pool to Get.
+func TestPagerReadFailpoint(t *testing.T) {
+	defer fault.DisarmAll()
+	fs := fault.NewShadowFS()
+	s0, err := Open("db", Options{FS: fs, BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	rid, err := s0.Insert(1, []byte("cached"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store has a cold buffer pool, so the Get must hit the pager.
+	s, err := Open("db", Options{FS: fs, BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := fault.Arm(fault.SitePagerRead, "error-once"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(rid); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Get with armed pager.read = %v, want the injected error", err)
+	}
+	// One-shot: the retry succeeds.
+	if got, err := s.Get(rid); err != nil || string(got) != "cached" {
+		t.Fatalf("Get after failpoint disarmed = %q, %v", got, err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -20,6 +21,10 @@ type Options struct {
 	// Metrics, when set, binds the store's counters (buffer hits and
 	// misses, WAL syncs, WAL append latency) into a shared registry.
 	Metrics *obs.Registry
+	// FS is the filesystem the store's data file and write-ahead log
+	// are opened through. Nil selects the real filesystem; the
+	// crash-consistency harness substitutes a fault.ShadowFS.
+	FS fault.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +58,13 @@ type Store struct {
 	mu         sync.Mutex
 	active     map[uint64]*txnState
 	insertHint PageID // last page that accepted an insert
+	// poison is set when a commit's durability is in doubt: the commit
+	// record was appended but forcing it to stable storage failed, so
+	// neither outcome can be asserted. A poisoned store refuses all
+	// further mutation and checkpointing; only crash recovery on the
+	// next Open, which replays what actually reached the disk, can
+	// resolve the transaction's fate.
+	poison error
 }
 
 type txnState struct {
@@ -71,17 +83,27 @@ var (
 	ErrTxnActive   = errors.New("storage: transactions still active")
 	ErrUnknownTxn  = errors.New("storage: unknown transaction")
 	ErrStoreClosed = errors.New("storage: store closed")
+	// ErrInDoubt is returned by Commit when the commit record could
+	// not be forced to stable storage: the transaction may or may not
+	// be durable, and every later mutating operation fails with the
+	// same error until the store is reopened and recovery resolves
+	// the outcome from the log that actually hit the disk.
+	ErrInDoubt = errors.New("storage: commit outcome in doubt")
 )
 
 // Open opens (creating if necessary) the store in dir, running crash
 // recovery against the write-ahead log before returning.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	pager, err := OpenPager(filepath.Join(dir, "data.db"))
+	fs := opts.FS
+	if fs == nil {
+		fs = fault.OS{}
+	}
+	pager, err := OpenPagerFS(fs, filepath.Join(dir, "data.db"))
 	if err != nil {
 		return nil, err
 	}
-	wal, err := OpenWAL(filepath.Join(dir, "wal.log"))
+	wal, err := OpenWALFS(fs, filepath.Join(dir, "wal.log"))
 	if err != nil {
 		_ = pager.Close() // opening the WAL failed; the close is best-effort cleanup
 		return nil, err
@@ -114,6 +136,9 @@ func (s *Store) Begin(txn uint64) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.poison != nil {
+		return s.poison
+	}
 	if _, ok := s.active[txn]; ok {
 		return nil
 	}
@@ -125,6 +150,9 @@ func (s *Store) Begin(txn uint64) error {
 }
 
 func (s *Store) txnState(txn uint64) (*txnState, error) {
+	if s.poison != nil {
+		return nil, s.poison
+	}
 	st, ok := s.active[txn]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
@@ -319,6 +347,12 @@ func (s *Store) deleteLocked(st *txnState, txn uint64, rid RID, before []byte) e
 
 // Commit makes txn's effects durable: a commit record is appended and
 // (by default) the log is forced to stable storage.
+//
+// When the force fails, the commit record may or may not have reached
+// the disk: Commit returns ErrInDoubt and poisons the store — every
+// later mutating operation fails the same way, and Close will neither
+// checkpoint nor truncate the log, so the next Open's recovery can
+// resolve the transaction from what stable storage actually holds.
 func (s *Store) Commit(txn uint64) error {
 	s.mu.Lock()
 	st, err := s.txnState(txn)
@@ -327,6 +361,8 @@ func (s *Store) Commit(txn uint64) error {
 		return err
 	}
 	if _, err := s.wal.Append(&LogRecord{Txn: txn, Kind: LogCommit, RID: InvalidRID}); err != nil {
+		// Nothing was forced yet; the transaction stays active and the
+		// caller may abort it.
 		s.mu.Unlock()
 		return err
 	}
@@ -335,8 +371,17 @@ func (s *Store) Commit(txn uint64) error {
 	s.releaseStealLocked(pages)
 	sync := *s.opts.SyncOnCommit
 	s.mu.Unlock()
-	if sync {
-		return s.wal.Sync()
+	if !sync {
+		return nil
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.mu.Lock()
+		if s.poison == nil {
+			s.poison = fmt.Errorf("%w: txn %d: %v", ErrInDoubt, txn, err)
+		}
+		perr := s.poison
+		s.mu.Unlock()
+		return perr
 	}
 	return nil
 }
@@ -511,10 +556,18 @@ func (s *Store) Scan(fn func(rid RID, data []byte)) error {
 
 // Checkpoint flushes all committed effects to the data file and
 // truncates the write-ahead log. It fails with ErrTxnActive while
-// transactions are in flight.
+// transactions are in flight and with ErrInDoubt on a poisoned store
+// (truncating the log would destroy the evidence recovery needs).
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	if s.poison != nil {
+		return s.poison
+	}
 	if len(s.active) > 0 {
 		return ErrTxnActive
 	}
@@ -527,23 +580,39 @@ func (s *Store) Checkpoint() error {
 	return s.wal.Reset(s.wal.NextLSN())
 }
 
-// Close checkpoints if possible and closes the store's files.
+// Close checkpoints if possible and closes the store's files. The
+// checkpoint decision and the checkpoint itself run under one
+// critical section, so a transaction beginning concurrently cannot
+// turn Close into a spurious ErrTxnActive; and the WAL and pager
+// handles are closed even when the checkpoint fails, so Close never
+// leaks file descriptors. On a poisoned store Close never checkpoints
+// or truncates the log — recovery on the next Open must see exactly
+// what stable storage holds to resolve the in-doubt commit. (The
+// final wal.Close still re-attempts the flush; forcing the in-doubt
+// commit record late only narrows the doubt, never widens it.)
 func (s *Store) Close() error {
 	s.mu.Lock()
-	noActive := len(s.active) == 0
+	var cerr error
+	switch {
+	case s.poison != nil:
+		// No checkpoint, no WAL truncation.
+	case len(s.active) == 0:
+		cerr = s.checkpointLocked()
+	default:
+		// Active transactions: no checkpoint, but force what is
+		// committed so far to stable storage.
+		cerr = s.wal.Sync()
+	}
 	s.mu.Unlock()
-	if noActive {
-		if err := s.Checkpoint(); err != nil {
-			return err
-		}
-	} else if err := s.wal.Sync(); err != nil {
-		return err
+	werr := s.wal.Close()
+	perr := s.pager.Close()
+	if cerr != nil {
+		return cerr
 	}
-	if err := s.wal.Close(); err != nil {
-		_ = s.pager.Close() // the WAL close failure is the error worth reporting
-		return err
+	if werr != nil {
+		return werr
 	}
-	return s.pager.Close()
+	return perr
 }
 
 // Stats reports storage counters.

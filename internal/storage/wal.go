@@ -7,9 +7,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -64,10 +64,16 @@ type LogRecord struct {
 // WAL is an append-only write-ahead log with CRC-protected records.
 type WAL struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       fault.File
 	w       *bufio.Writer
 	nextLSN uint64
 	path    string
+
+	// ioErr latches the first append failure. A failed record write
+	// leaves an undefined prefix in the buffered stream, so appending
+	// anything after it could interleave a fresh frame with the torn
+	// one; the log refuses further traffic instead.
+	ioErr error
 
 	// syncs counts fsyncs so Stats can report the effect of group
 	// commit; appendDur is the append (serialize + buffer) latency.
@@ -76,10 +82,16 @@ type WAL struct {
 	appendDur *obs.Histogram
 }
 
-// OpenWAL opens (creating if necessary) the log file at path and
-// positions the next LSN after the last valid record.
+// OpenWAL opens (creating if necessary) the log file at path on the
+// real filesystem and positions the next LSN after the last valid
+// record.
 func OpenWAL(path string) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(fault.OS{}, path)
+}
+
+// OpenWALFS opens the log file at path through fs.
+func OpenWALFS(fs fault.FS, path string) (*WAL, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
@@ -121,9 +133,23 @@ func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 	defer w.appendDur.Time()()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.ioErr != nil {
+		return 0, fmt.Errorf("storage: wal damaged by earlier append failure: %w", w.ioErr)
+	}
 	rec.LSN = w.nextLSN
 	w.nextLSN++
-	if err := writeRecord(w.w, rec); err != nil {
+	frame := encodeRecord(rec)
+	if fp := fault.Hit(fault.SiteWALAppend); fp != nil {
+		if fp.Torn >= 0 && fp.Torn < len(frame) {
+			// A torn append leaves a partial frame in the stream; the
+			// log is damaged from here on.
+			_, _ = w.w.Write(frame[:fp.Torn])
+		}
+		w.ioErr = fp.Err
+		return 0, fmt.Errorf("storage: wal append: %w", fp.Err)
+	}
+	if _, err := w.w.Write(frame); err != nil {
+		w.ioErr = err
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
 	return rec.LSN, nil
@@ -137,8 +163,17 @@ func (w *WAL) Sync() error {
 }
 
 func (w *WAL) syncLocked() error {
+	if w.ioErr != nil {
+		return fmt.Errorf("storage: wal damaged by earlier append failure: %w", w.ioErr)
+	}
+	if fp := fault.Hit(fault.SiteWALFlush); fp != nil {
+		return fmt.Errorf("storage: wal flush: %w", fp.Err)
+	}
 	if err := w.w.Flush(); err != nil {
 		return err
+	}
+	if fp := fault.Hit(fault.SiteWALSync); fp != nil {
+		return fmt.Errorf("storage: wal fsync: %w", fp.Err)
 	}
 	if err := w.f.Sync(); err != nil {
 		return err
@@ -188,21 +223,25 @@ func (w *WAL) Reset(keepLSN uint64) error {
 		return err
 	}
 	w.w.Reset(w.f)
+	w.ioErr = nil // the damaged region, if any, was discarded
 	if keepLSN >= w.nextLSN {
 		w.nextLSN = keepLSN + 1
 	}
 	return w.f.Sync()
 }
 
-// Close flushes and closes the log.
+// Close flushes and closes the log. The file handle is closed even
+// when the final flush or fsync fails, so Close never leaks a
+// descriptor.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.syncLocked(); err != nil {
-		w.f.Close()
-		return err
+	serr := w.syncLocked()
+	cerr := w.f.Close()
+	if serr != nil {
+		return serr
 	}
-	return w.f.Close()
+	return cerr
 }
 
 // scan reads records from the start of the file, invoking fn with each
@@ -229,6 +268,14 @@ func (w *WAL) scan(fn func(rec LogRecord, end int64)) error {
 
 var errBadChecksum = errors.New("storage: wal record checksum mismatch")
 
+// recFixedLen is the fixed part of a record payload: u64 lsn, u64
+// txn, u8 kind, u32 page, u16 slot. The minimum structurally valid
+// payload adds the two u32 image lengths.
+const (
+	recFixedLen   = 23
+	recMinPayload = recFixedLen + 4 + 4
+)
+
 // On-disk record framing:
 //
 //	u32 payloadLen | u32 crc32(payload) | payload
@@ -236,28 +283,27 @@ var errBadChecksum = errors.New("storage: wal record checksum mismatch")
 // payload: u64 lsn | u64 txn | u8 kind | u32 page | u16 slot |
 //
 //	u32 beforeLen | before | u32 afterLen | after
-func writeRecord(w io.Writer, rec *LogRecord) error {
-	payload := make([]byte, 0, 31+len(rec.Before)+len(rec.After))
-	payload = binary.LittleEndian.AppendUint64(payload, rec.LSN)
-	payload = binary.LittleEndian.AppendUint64(payload, rec.Txn)
-	payload = append(payload, byte(rec.Kind))
-	payload = binary.LittleEndian.AppendUint32(payload, uint32(rec.RID.Page))
-	payload = binary.LittleEndian.AppendUint16(payload, rec.RID.Slot)
-	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Before)))
-	payload = append(payload, rec.Before...)
-	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.After)))
-	payload = append(payload, rec.After...)
-
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+func encodeRecord(rec *LogRecord) []byte {
+	frame := make([]byte, 8, 8+recMinPayload+len(rec.Before)+len(rec.After))
+	frame = binary.LittleEndian.AppendUint64(frame, rec.LSN)
+	frame = binary.LittleEndian.AppendUint64(frame, rec.Txn)
+	frame = append(frame, byte(rec.Kind))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(rec.RID.Page))
+	frame = binary.LittleEndian.AppendUint16(frame, rec.RID.Slot)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(rec.Before)))
+	frame = append(frame, rec.Before...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(rec.After)))
+	frame = append(frame, rec.After...)
+	payload := frame[8:]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	return frame
 }
 
+// readRecord decodes one frame. Structural corruption — a payload too
+// short for the fixed header, or image lengths overrunning the
+// payload — is reported as errBadChecksum so the scan treats it as
+// the crash frontier rather than panicking on a slice bound.
 func readRecord(r io.Reader) (LogRecord, int64, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -265,7 +311,7 @@ func readRecord(r io.Reader) (LogRecord, int64, error) {
 	}
 	payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
 	crc := binary.LittleEndian.Uint32(hdr[4:8])
-	if payloadLen > 16*PageSize {
+	if payloadLen > 16*PageSize || payloadLen < recMinPayload {
 		return LogRecord{}, 0, errBadChecksum
 	}
 	payload := make([]byte, payloadLen)
@@ -275,24 +321,28 @@ func readRecord(r io.Reader) (LogRecord, int64, error) {
 	if crc32.ChecksumIEEE(payload) != crc {
 		return LogRecord{}, 0, errBadChecksum
 	}
-	var rec LogRecord
-	p := payload
-	rec.LSN = binary.LittleEndian.Uint64(p[0:8])
-	rec.Txn = binary.LittleEndian.Uint64(p[8:16])
-	rec.Kind = LogKind(p[16])
-	rec.RID.Page = PageID(binary.LittleEndian.Uint32(p[17:21]))
-	rec.RID.Slot = binary.LittleEndian.Uint16(p[21:23])
-	p = p[23:]
-	bl := binary.LittleEndian.Uint32(p[0:4])
-	p = p[4:]
-	if bl > 0 {
-		rec.Before = append([]byte(nil), p[:bl]...)
+	// Validate the image lengths before slicing; uint64 arithmetic
+	// keeps a 4 GiB length field from overflowing the bounds checks.
+	n := uint64(payloadLen)
+	bl := uint64(binary.LittleEndian.Uint32(payload[recFixedLen : recFixedLen+4]))
+	if recMinPayload+bl > n {
+		return LogRecord{}, 0, errBadChecksum
 	}
-	p = p[bl:]
-	al := binary.LittleEndian.Uint32(p[0:4])
-	p = p[4:]
+	al := uint64(binary.LittleEndian.Uint32(payload[recFixedLen+4+bl : recFixedLen+8+bl]))
+	if recMinPayload+bl+al != n {
+		return LogRecord{}, 0, errBadChecksum
+	}
+	var rec LogRecord
+	rec.LSN = binary.LittleEndian.Uint64(payload[0:8])
+	rec.Txn = binary.LittleEndian.Uint64(payload[8:16])
+	rec.Kind = LogKind(payload[16])
+	rec.RID.Page = PageID(binary.LittleEndian.Uint32(payload[17:21]))
+	rec.RID.Slot = binary.LittleEndian.Uint16(payload[21:23])
+	if bl > 0 {
+		rec.Before = append([]byte(nil), payload[recFixedLen+4:recFixedLen+4+bl]...)
+	}
 	if al > 0 {
-		rec.After = append([]byte(nil), p[:al]...)
+		rec.After = append([]byte(nil), payload[recFixedLen+8+bl:]...)
 	}
 	return rec, int64(8 + payloadLen), nil
 }
