@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint crash all
+.PHONY: build test race vet lint crash stress all
 
 all: build vet test
 
@@ -8,10 +8,10 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 120s ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 120s ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,5 +27,14 @@ lint:
 # every write/fsync boundary, clean and WAL-torn, with second crashes
 # during recovery) plus a short fuzz of the WAL record decoder.
 crash:
-	$(GO) test ./internal/fault/... -run 'TestCrashMatrix|TestHarnessCatchesLostCommit' -count=1
-	$(GO) test ./internal/storage -run FuzzReadRecord -fuzz FuzzReadRecord -fuzztime 10s
+	$(GO) test -timeout 120s ./internal/fault/... -run 'TestCrashMatrix|TestHarnessCatchesLostCommit' -count=1
+	$(GO) test -timeout 120s ./internal/storage -run FuzzReadRecord -fuzz FuzzReadRecord -fuzztime 10s
+
+# stress hammers the supervised rule executor under the race detector:
+# mixed panicking/deadlocking/failing rules, WAL fault injection armed,
+# plus the Drain/WaitDetached race and crash-consistency invariants, in
+# short mode so the whole target stays CI-sized.
+stress:
+	$(GO) test -race -short -timeout 120s -count=1 \
+		-run 'TestExecutorStress|TestDrainWaitDetachedRace|TestDetachedRuleFaultInjection|TestDetachedDeadlockRetry' \
+		./internal/eca

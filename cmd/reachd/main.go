@@ -21,12 +21,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	reach "repro"
 	"repro/internal/oodb"
@@ -35,9 +37,25 @@ import (
 func main() {
 	dir := flag.String("dir", "", "storage directory (empty = in-memory)")
 	admin := flag.String("admin", "", "observability HTTP listen address, e.g. localhost:7047 (empty = disabled)")
+	workers := flag.Int("workers", 0, "detached-rule executor worker pool size (0 = default 8)")
+	queue := flag.Int("queue", 0, "detached-rule executor queue capacity (0 = default 256)")
+	shed := flag.Bool("shed", false, "shed detached rule work when the executor queue is full instead of blocking")
+	ruleTimeout := flag.Duration("rule-timeout", 0, "default per-attempt deadline for detached rules (0 = none)")
+	ruleRetries := flag.Int("rule-retries", 0, "default retry budget for retriable rule aborts (0 = default 3, negative disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures before a rule's circuit breaker trips (0 = default 5, negative disables)")
 	flag.Parse()
 
-	sys, err := reach.Open(reach.Options{Dir: *dir})
+	engineOpts := reach.EngineOptions{
+		Workers:          *workers,
+		Queue:            *queue,
+		RuleTimeout:      *ruleTimeout,
+		RuleRetries:      *ruleRetries,
+		BreakerThreshold: *breakerThreshold,
+	}
+	if *shed {
+		engineOpts.Overload = reach.OverloadShed
+	}
+	sys, err := reach.Open(reach.Options{Dir: *dir, Engine: engineOpts})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reachd:", err)
 		os.Exit(1)
@@ -50,7 +68,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /failpoints /debug/pprof)\n", addr)
+		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /failpoints /rules/deadletter /rules/breakers /debug/pprof)\n", addr)
 	}
 	fmt.Println("REACH shell — an integrated active OODBMS. Type 'help'.")
 	repl(sys, os.Stdin, os.Stdout)
@@ -161,6 +179,35 @@ func repl(sys *reach.System, in io.Reader, out io.Writer) {
 			}
 		case "stats":
 			statsCmd(sys, out, args)
+		case "deadletter":
+			deadLetterCmd(sys, out, args)
+		case "breakers":
+			for _, b := range sys.Engine.Breakers() {
+				state := "closed"
+				if b.Open {
+					state = "OPEN since " + b.Since.Format("15:04:05")
+				}
+				fmt.Fprintf(out, "  %-24s %-20s consecutive=%d last=%s\n", b.Rule, state, b.Consecutive, b.LastErr)
+			}
+			if len(sys.Engine.Breakers()) == 0 {
+				fmt.Fprintln(out, "  (no breaker records)")
+			}
+		case "rearm":
+			if len(args) != 1 {
+				fmt.Fprintln(out, "usage: rearm <rule>")
+				continue
+			}
+			if sys.Engine.RearmRule(args[0]) {
+				fmt.Fprintf(out, "breaker for %s re-armed\n", args[0])
+			} else {
+				fmt.Fprintf(out, "rule %q has no breaker record\n", args[0])
+			}
+		case "drain":
+			if err := drainCmd(sys, args); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintln(out, "drained: detached executor idle, new spawns refused")
+			}
 		case "history":
 			for _, en := range sys.Engine.GlobalHistory() {
 				fmt.Fprintf(out, "  #%d txn=%d %s\n", en.Seq, en.Txn, en.Key)
@@ -169,6 +216,43 @@ func repl(sys *reach.System, in io.Reader, out io.Writer) {
 			fmt.Fprintf(out, "unknown command %q (try 'help')\n", cmd)
 		}
 	}
+}
+
+// deadLetterCmd lists or clears the executor's dead-letter queue.
+func deadLetterCmd(sys *reach.System, out io.Writer, args []string) {
+	if len(args) == 1 && args[0] == "clear" {
+		fmt.Fprintf(out, "cleared %d dead-letter entries\n", sys.Engine.ClearDeadLetters())
+		return
+	}
+	if len(args) != 0 {
+		fmt.Fprintln(out, "usage: deadletter [clear]")
+		return
+	}
+	letters := sys.Engine.DeadLetters()
+	if len(letters) == 0 {
+		fmt.Fprintln(out, "  (dead-letter queue empty)")
+		return
+	}
+	for _, dl := range letters {
+		fmt.Fprintf(out, "  %s rule=%s event=%s seq=%d attempts=%d reason=%s err=%s\n",
+			dl.Time.Format("15:04:05"), dl.Rule, dl.EventKey, dl.Seq, dl.Attempts, dl.Reason, dl.Err)
+	}
+}
+
+// drainCmd flips the engine into shutdown mode, bounded by an
+// optional timeout argument (e.g. "drain 5s").
+func drainCmd(sys *reach.System, args []string) error {
+	ctx := context.Background()
+	if len(args) == 1 {
+		d, err := time.ParseDuration(args[0])
+		if err != nil {
+			return fmt.Errorf("usage: drain [timeout]: %w", err)
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return sys.Drain(ctx)
 }
 
 // statsCmd prints the summary counters, the full Prometheus exposition
@@ -231,6 +315,10 @@ func help(out io.Writer) {
   stats                         engine / sentry / storage counters
   stats metrics                 full metric registry (Prometheus text)
   stats trace <n>               last n event-lifecycle traces
+  deadletter [clear]            inspect / empty the rule dead-letter queue
+  breakers                      per-rule circuit breaker states
+  rearm <rule>                  close a tripped rule's circuit breaker
+  drain [timeout]               refuse new detached spawns, wait for in-flight rules
   roots | classes | history | quit
 `)
 }

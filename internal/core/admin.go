@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/eca"
+)
+
+// deadLetterHandler serves the executor's dead-letter queue:
+//
+//	GET  /rules/deadletter              list entries, oldest first
+//	POST /rules/deadletter?action=clear empty the queue
+func deadLetterHandler(e *eca.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeAdminJSON(w, map[string]any{"deadletter": e.DeadLetters()})
+		case http.MethodPost:
+			if r.FormValue("action") != "clear" {
+				http.Error(w, "unsupported action (want action=clear)", http.StatusBadRequest)
+				return
+			}
+			n := e.ClearDeadLetters()
+			writeAdminJSON(w, map[string]any{"cleared": n})
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// breakerHandler serves the per-rule circuit breakers:
+//
+//	GET  /rules/breakers              snapshot every breaker
+//	POST /rules/breakers?rearm=NAME   close NAME's breaker
+func breakerHandler(e *eca.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeAdminJSON(w, map[string]any{"breakers": e.Breakers()})
+		case http.MethodPost:
+			name := r.FormValue("rearm")
+			if name == "" {
+				http.Error(w, "missing rearm=<rule> parameter", http.StatusBadRequest)
+				return
+			}
+			if !e.RearmRule(name) {
+				http.Error(w, fmt.Sprintf("rule %q has no breaker record", name), http.StatusNotFound)
+				return
+			}
+			writeAdminJSON(w, map[string]any{"rearmed": name})
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func writeAdminJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

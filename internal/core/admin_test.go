@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/eca"
+	"repro/internal/event"
+	"repro/internal/oodb"
+)
+
+// newFailingSystem opens an in-memory system with a monitored class
+// and one permanently failing detached rule, fires it past its
+// breaker threshold, and returns the system plus the admin mux.
+func newFailingSystem(t *testing.T) (*System, *http.ServeMux, *oodb.Object) {
+	t.Helper()
+	sys, err := Open(Options{Engine: eca.Options{BreakerThreshold: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	probe := oodb.NewClass("Probe", oodb.Attr{Name: "n", Type: oodb.TInt})
+	probe.Monitored = true
+	probe.Method("poke", func(ctx *oodb.Ctx, self *oodb.Object, args []any) (any, error) {
+		return nil, nil
+	})
+	if err := sys.RegisterClass(probe); err != nil {
+		t.Fatal(err)
+	}
+	tx := sys.Begin()
+	obj, err := sys.DB.NewObject(tx, "Probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Engine.AddRule(&eca.Rule{
+		Name:       "failing",
+		EventKey:   event.MethodSpec{Class: "Probe", Method: "poke", When: event.After}.Key(),
+		ActionMode: eca.Detached,
+		Action:     func(rc *eca.RuleCtx) error { return errors.New("always fails") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		tx := sys.Begin()
+		if _, err := sys.DB.Invoke(tx, obj, "poke"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Engine.WaitDetached()
+	return sys, sys.Admin().Mux(), obj
+}
+
+// TestAdminRuleRobustnessEndpoints drives the executor's admin
+// surface end to end: breakers listed and re-armable, dead letters
+// listed and clearable, and the executor metric families present in
+// the Prometheus exposition at /metrics.
+func TestAdminRuleRobustnessEndpoints(t *testing.T) {
+	_, mux, _ := newFailingSystem(t)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, w.Code, w.Body)
+		}
+		return w
+	}
+	post := func(path string, wantCode int) *httptest.ResponseRecorder {
+		t.Helper()
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, httptest.NewRequest(http.MethodPost, path, nil))
+		if w.Code != wantCode {
+			t.Fatalf("POST %s = %d, want %d: %s", path, w.Code, wantCode, w.Body)
+		}
+		return w
+	}
+
+	var breakers struct {
+		Breakers []eca.BreakerState `json:"breakers"`
+	}
+	if err := json.Unmarshal(get("/rules/breakers").Body.Bytes(), &breakers); err != nil {
+		t.Fatal(err)
+	}
+	if len(breakers.Breakers) != 1 || !breakers.Breakers[0].Open || breakers.Breakers[0].Rule != "failing" {
+		t.Fatalf("breakers = %+v, want rule 'failing' open", breakers.Breakers)
+	}
+
+	var dead struct {
+		DeadLetter []eca.DeadLetter `json:"deadletter"`
+	}
+	if err := json.Unmarshal(get("/rules/deadletter").Body.Bytes(), &dead); err != nil {
+		t.Fatal(err)
+	}
+	if len(dead.DeadLetter) != 2 || dead.DeadLetter[0].Rule != "failing" {
+		t.Fatalf("deadletter = %+v, want two entries for 'failing'", dead.DeadLetter)
+	}
+
+	metrics := get("/metrics").Body.String()
+	for _, name := range []string{
+		"reach_rule_retries_total",
+		"reach_rule_breaker_trips_total",
+		"reach_rule_breaker_open",
+		"reach_rule_deadletter_total",
+		"reach_rule_rejected_total",
+		"reach_executor_queue_depth",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	post("/rules/breakers?rearm=nope", http.StatusNotFound)
+	post("/rules/breakers?rearm=failing", http.StatusOK)
+	if err := json.Unmarshal(get("/rules/breakers").Body.Bytes(), &breakers); err != nil {
+		t.Fatal(err)
+	}
+	if breakers.Breakers[0].Open {
+		t.Fatalf("breaker still open after rearm: %+v", breakers.Breakers)
+	}
+
+	post("/rules/deadletter", http.StatusBadRequest)
+	var cleared struct {
+		Cleared int `json:"cleared"`
+	}
+	if err := json.Unmarshal(post("/rules/deadletter?action=clear", http.StatusOK).Body.Bytes(), &cleared); err != nil {
+		t.Fatal(err)
+	}
+	if cleared.Cleared != 2 {
+		t.Fatalf("cleared = %d, want 2", cleared.Cleared)
+	}
+	if err := json.Unmarshal(get("/rules/deadletter").Body.Bytes(), &dead); err != nil {
+		t.Fatal(err)
+	}
+	if len(dead.DeadLetter) != 0 {
+		t.Fatalf("deadletter not empty after clear: %+v", dead.DeadLetter)
+	}
+}

@@ -6,6 +6,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/clock"
 	"repro/internal/eca"
 	"repro/internal/fault"
@@ -89,8 +91,15 @@ func (s *System) Admin() *obs.Admin {
 		}
 	})
 	a.Handle("/failpoints", fault.Handler())
+	a.Handle("/rules/deadletter", deadLetterHandler(s.Engine))
+	a.Handle("/rules/breakers", breakerHandler(s.Engine))
 	return a
 }
+
+// Drain flips the rule engine into shutdown mode: new detached rule
+// spawns are refused and the call waits (bounded by ctx) for every
+// in-flight rule transaction. Close completes the shutdown.
+func (s *System) Drain(ctx context.Context) error { return s.Engine.Drain(ctx) }
 
 // Begin starts a top-level transaction.
 func (s *System) Begin() *txn.Txn { return s.DB.Begin() }

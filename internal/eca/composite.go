@@ -1,6 +1,7 @@
 package eca
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -387,13 +388,17 @@ func (e *Engine) DrainComposers() {
 	}
 }
 
-// Close shuts down the engine's background goroutines. The engine
-// must not be used afterwards.
+// Close shuts down the engine: temporal sources are disarmed, the
+// supervised executor drains (refusing new detached spawns, waiting
+// for in-flight rule transactions) and stops its workers, and the
+// composer goroutines exit. The engine must not be used afterwards.
 func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
-	e.detachedWG.Wait()
+	e.stopTemporals()
+	_ = e.Drain(context.Background())
+	e.exec.shutdown()
 	e.mu.Lock()
 	for _, cm := range e.composites {
 		close(cm.closed)

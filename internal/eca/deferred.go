@@ -1,6 +1,7 @@
 package eca
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -113,30 +114,22 @@ func (e *Engine) runDeferredBatch(top *txn.Txn, batch []deferredEntry) error {
 		start := e.clk.Now()
 		defer func() { e.met.latDeferred.Observe(e.clk.Now().Sub(start)) }()
 		if entry.actionOnly {
-			rc := &RuleCtx{Engine: e, DB: e.db, Txn: child, Trigger: entry.in}
-			as := e.clk.Now()
-			err := entry.rule.Action(rc)
-			e.span(entry.in.Trace, "action-exec", entry.rule.Name, as)
-			if err != nil {
-				e.abortRuleTxn(child, entry.rule, entry.in, err)
-				return fmt.Errorf("eca: deferred rule %s action: %w", entry.rule.Name, err)
-			}
-			return e.commitRuleTxn(child, entry.rule, entry.in)
+			return e.runActionOnly(child, entry.rule, entry.in)
 		}
-		return e.runRuleIn(child, entry.rule, entry.in)
+		return e.runRuleGuarded(context.Background(), child, entry.rule, entry.in)
 	}
 	if e.opts.Exec == ParallelExec && len(batch) > 1 {
-		errs := make([]error, len(batch))
-		var wg sync.WaitGroup
+		// The batch runs on its own bounded goroutine set, not the
+		// detached pool: detached rules may block on locks held by the
+		// very transaction whose EOT is running this batch, so sharing
+		// the pool could deadlock the commit. Panics are recovered in
+		// the batch worker and surface as that entry's error.
+		fns := make([]func() error, len(batch))
 		for i, entry := range batch {
-			wg.Add(1)
-			go func(i int, entry deferredEntry) {
-				defer wg.Done()
-				errs[i] = run(entry)
-			}(i, entry)
+			entry := entry
+			fns[i] = func() error { return run(entry) }
 		}
-		wg.Wait()
-		return errors.Join(errs...)
+		return errors.Join(runBatch(fns)...)
 	}
 	for _, entry := range batch {
 		if err := run(entry); err != nil {
@@ -146,84 +139,25 @@ func (e *Engine) runDeferredBatch(top *txn.Txn, batch []deferredEntry) error {
 	return nil
 }
 
-// spawnDetached launches a rule in its own top-level transaction under
-// one of the four detached modes, enforcing the commit/abort
-// dependencies against every transaction the triggering event
-// originated from (Table 1: "all commit" / "all abort").
-//
-// Parallel- and exclusive-causal rules "may begin in parallel" (§3.2):
-// their transaction is created and its dependency edges registered
-// synchronously at firing time, so the dependency holds no matter how
-// the scheduler interleaves the trigger's resolution; only the rule
-// body runs asynchronously. Sequential-causal rules may not even
-// initiate until the trigger commits, so everything is asynchronous.
-func (e *Engine) spawnDetached(r *Rule, in *event.Instance) {
-	mode := r.condMode()
-	txns := in.Transactions()
-	ids := make([]uint64, 0, len(txns))
-	for id := range txns {
-		ids = append(ids, id)
-	}
-	e.met.firedDetached.Inc()
-
-	var t *txn.Txn
-	var abortErr error
-	switch mode {
-	case DetachedParallelCausal:
-		t = e.beginRuleTxn()
-		for _, id := range ids {
-			live, st, known := e.txnOutcome(id)
-			switch {
-			case live != nil:
-				t.RequireCommit(live)
-			case known && st == txn.Aborted:
-				abortErr = fmt.Errorf("eca: rule %s: trigger txn %d aborted", r.Name, id)
-			}
+// runActionOnly executes just the action part of a rule whose
+// condition was already evaluated immediately (imm/def split), with
+// the same panic containment as a full rule body.
+func (e *Engine) runActionOnly(t *txn.Txn, r *Rule, in *event.Instance) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = e.recoverRulePanic(t, r, in, p)
 		}
-	case DetachedExclusiveCausal:
-		t = e.beginRuleTxn()
-		for _, id := range ids {
-			live, st, known := e.txnOutcome(id)
-			switch {
-			case live != nil:
-				t.RequireAbort(live)
-			case known && st == txn.Committed:
-				abortErr = fmt.Errorf("eca: rule %s: trigger txn %d committed", r.Name, id)
-			}
-		}
-	case Detached:
-		t = e.beginRuleTxn()
-	}
-
-	e.detachedWG.Add(1)
-	go func() {
-		defer e.detachedWG.Done()
-		if abortErr != nil {
-			_ = t.AbortWith(abortErr) // fresh rule txn, abort cannot meaningfully fail
-			return
-		}
-		if mode == DetachedSequentialCausal {
-			for _, id := range ids {
-				live, st, known := e.txnOutcome(id)
-				if live != nil {
-					st = live.Wait()
-				} else if !known {
-					st = txn.Committed // evicted long ago; assume committed
-				}
-				if st != txn.Committed {
-					return
-				}
-			}
-			t = e.beginRuleTxn()
-		}
-		// Errors are recorded on the rule transaction; a detached rule
-		// failure never affects the triggering transaction.
-		start := e.clk.Now()
-		e.runRuleIn(t, r, in)
-		e.met.latDetached.Observe(e.clk.Now().Sub(start))
 	}()
+	rc := &RuleCtx{Engine: e, DB: e.db, Txn: t, Trigger: in, Context: context.Background()}
+	as := e.clk.Now()
+	aerr := r.Action(rc)
+	e.span(in.Trace, "action-exec", r.Name, as)
+	if aerr != nil {
+		e.abortRuleTxn(t, r, in, aerr)
+		return fmt.Errorf("eca: deferred rule %s action: %w", r.Name, aerr)
+	}
+	return e.commitRuleTxn(t, r, in)
 }
 
-// WaitDetached blocks until every spawned detached rule execution has
-// finished. Tests and the bench harness use it as a barrier.
-func (e *Engine) WaitDetached() { e.detachedWG.Wait() }
+// Detached firings are routed to the supervised executor; see
+// spawnDetached in executor.go.

@@ -1,6 +1,7 @@
 package eca
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -79,6 +80,31 @@ type Options struct {
 	// acknowledged that no immediately-coupled composite completed.
 	// It exists so the cost the paper refuses to pay can be measured.
 	AllowUnsafeImmediateComposite bool
+	// Workers bounds the detached-rule worker pool (default 8).
+	Workers int
+	// Queue bounds the pending detached-rule queue (default 256).
+	Queue int
+	// Overload selects what a full queue does to new detached work:
+	// block the raising goroutine (default) or shed with ErrOverload.
+	Overload OverloadPolicy
+	// RuleTimeout bounds each detached rule attempt; the watchdog
+	// aborts the rule transaction on expiry. 0 means no deadline.
+	RuleTimeout time.Duration
+	// RuleRetries is the default retry budget after a retriable abort
+	// (deadlock, cancelled lock wait). 0 means the default of 3;
+	// negative disables retries.
+	RuleRetries int
+	// RetryBackoff is the first retry's backoff (default 2ms); each
+	// further retry doubles it up to RetryBackoffMax (default 250ms),
+	// plus deterministic jitter.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// BreakerThreshold trips a rule's circuit breaker after N
+	// consecutive permanent failures, parking the rule until it is
+	// re-armed. 0 means the default of 5; negative disables breakers.
+	BreakerThreshold int
+	// DeadLetterCapacity bounds the dead-letter ring (default 128).
+	DeadLetterCapacity int
 	// Metrics is the shared observability registry the engine binds
 	// its counters into; nil creates a private registry.
 	Metrics *obs.Registry
@@ -101,6 +127,27 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ComposerBuffer == 0 {
 		o.ComposerBuffer = 1024
+	}
+	if o.Workers == 0 {
+		o.Workers = 8
+	}
+	if o.Queue == 0 {
+		o.Queue = 256
+	}
+	if o.RuleRetries == 0 {
+		o.RuleRetries = 3
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.RetryBackoffMax == 0 {
+		o.RetryBackoffMax = 250 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.DeadLetterCapacity <= 0 {
+		o.DeadLetterCapacity = 128
 	}
 	return o
 }
@@ -135,6 +182,20 @@ type engineMetrics struct {
 	latImmediate   *obs.Histogram
 	latDeferred    *obs.Histogram
 	latDetached    *obs.Histogram
+
+	// supervised-executor series.
+	retries       *obs.Counter
+	panics        *obs.Counter
+	deadlines     *obs.Counter
+	rejOverload   *obs.Counter
+	rejDraining   *obs.Counter
+	rejBreaker    *obs.Counter
+	breakerTrips  *obs.Counter
+	breakerOpen   *obs.Gauge
+	deadLetters   *obs.Counter
+	deadDepth     *obs.Gauge
+	execQueue     *obs.Gauge
+	execQueueHigh *obs.Gauge
 }
 
 func newEngineMetrics(reg *obs.Registry) engineMetrics {
@@ -142,6 +203,8 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	const firedHelp = "Rules fired, by coupling mode."
 	const lat = "reach_rule_latency_seconds"
 	const latHelp = "Rule execution latency (condition + action + commit), by coupling mode."
+	const rejected = "reach_rule_rejected_total"
+	const rejectedHelp = "Detached rule firings refused by the executor, by reason."
 	return engineMetrics{
 		events: reg.Counter("reach_events_total", "Event instances consumed by the engine."),
 		composites: reg.Counter("reach_composites_detected_total",
@@ -164,6 +227,27 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		latImmediate:   reg.Histogram(lat, latHelp, "mode", "immediate"),
 		latDeferred:    reg.Histogram(lat, latHelp, "mode", "deferred"),
 		latDetached:    reg.Histogram(lat, latHelp, "mode", "detached"),
+		retries: reg.Counter("reach_rule_retries_total",
+			"Detached rule attempts retried after a retriable abort."),
+		panics: reg.Counter("reach_rule_panics_total",
+			"Rule conditions/actions that panicked and were converted to aborts."),
+		deadlines: reg.Counter("reach_rule_deadline_total",
+			"Detached rule attempts aborted by the per-rule deadline."),
+		rejOverload: reg.Counter(rejected, rejectedHelp, "reason", "overload"),
+		rejDraining: reg.Counter(rejected, rejectedHelp, "reason", "draining"),
+		rejBreaker:  reg.Counter(rejected, rejectedHelp, "reason", "breaker-open"),
+		breakerTrips: reg.Counter("reach_rule_breaker_trips_total",
+			"Circuit breakers tripped by consecutive permanent failures."),
+		breakerOpen: reg.Gauge("reach_rule_breaker_open",
+			"Rules currently parked behind an open circuit breaker."),
+		deadLetters: reg.Counter("reach_rule_deadletter_total",
+			"Detached firings recorded in the dead-letter queue."),
+		deadDepth: reg.Gauge("reach_rule_deadletter_depth",
+			"Current dead-letter queue depth."),
+		execQueue: reg.Gauge("reach_executor_queue_depth",
+			"Detached executor queue depth at last submit/dequeue."),
+		execQueueHigh: reg.Gauge("reach_executor_queue_highwater",
+			"High-water mark of the detached executor queue depth."),
 	}
 }
 
@@ -189,8 +273,11 @@ type Engine struct {
 
 	hist *globalHistory
 
-	detachedWG sync.WaitGroup
-	closed     atomic.Bool
+	exec   *executor
+	closed atomic.Bool
+
+	tempMu    sync.Mutex
+	temporals map[*TemporalHandle]struct{}
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -219,10 +306,12 @@ func New(db *oodb.DB, opts Options) *Engine {
 		activeTxns:   make(map[uint64]*txn.Txn),
 		resolvedTxns: make(map[uint64]txn.Status),
 		hist:         newGlobalHistory(opts.GlobalHistorySize),
+		temporals:    make(map[*TemporalHandle]struct{}),
 		reg:          reg,
 		tracer:       tracer,
 		met:          newEngineMetrics(reg),
 	}
+	e.exec = newExecutor(e)
 	e.disp = sentry.New(sentry.ConsumerFunc(e.Consume))
 	e.disp.Instrument(reg, tracer, e.clk.Now)
 	db.TxnManager().Instrument(reg)
@@ -564,22 +653,22 @@ func (e *Engine) runRuleSet(rules []*Rule, in *event.Instance, trigger *txn.Txn)
 	if e.opts.Exec == ParallelExec && len(rules) > 1 && trigger != nil {
 		// Even conceptually-parallel rules need a lower-level ordering
 		// for child creation (§6.4); they are started in firing order.
+		// A panicking rule body is recovered in its batch worker and
+		// surfaced as that entry's error.
 		errs := make([]error, len(rules))
-		var wg sync.WaitGroup
+		fns := make([]func() error, len(rules))
 		for i, r := range rules {
 			child, err := trigger.BeginChild()
 			if err != nil {
 				errs[i] = err
 				continue
 			}
-			wg.Add(1)
-			go func(i int, r *Rule, child *txn.Txn) {
-				defer wg.Done()
-				errs[i] = e.runRuleIn(child, r, in)
-			}(i, r, child)
+			r, child := r, child
+			fns[i] = func() error {
+				return e.runRuleGuarded(context.Background(), child, r, in)
+			}
 		}
-		wg.Wait()
-		return errors.Join(errs...)
+		return errors.Join(append(errs, runBatch(fns)...)...)
 	}
 	for _, r := range rules {
 		if err := e.runRuleAsChild(trigger, r, in); err != nil {
@@ -624,7 +713,14 @@ func isRuleTxn(t *txn.Txn) bool { return t.Value(ruleTxnKey{}) != nil }
 // runRuleIn evaluates the rule's condition and action inside t and
 // commits or aborts it.
 func (e *Engine) runRuleIn(t *txn.Txn, r *Rule, in *event.Instance) error {
-	rc := &RuleCtx{Engine: e, DB: e.db, Txn: t, Trigger: in}
+	return e.runRuleCtx(context.Background(), t, r, in)
+}
+
+// runRuleCtx is runRuleIn with an execution context: the supervised
+// executor threads its deadline cancellation through to the rule body
+// via RuleCtx.Context.
+func (e *Engine) runRuleCtx(ctx context.Context, t *txn.Txn, r *Rule, in *event.Instance) error {
+	rc := &RuleCtx{Engine: e, DB: e.db, Txn: t, Trigger: in, Context: ctx}
 	ok := true
 	var err error
 	if r.Cond != nil {

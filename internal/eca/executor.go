@@ -1,0 +1,716 @@
+// The supervised executor for detached rule work. The paper frames
+// detached rules as independent top-level transactions whose failures
+// must be contained and reported (§3.2, HiPAC); the naive reading —
+// one unbounded goroutine per firing — spawns itself to death under
+// load and silently drops deadlock aborts. This executor bounds the
+// concurrency with a worker pool and a queue, retries retriable
+// aborts with exponential backoff, converts panics into rule-txn
+// aborts with the stack captured into the trace ring, enforces
+// per-rule deadlines, and parks permanently failing rules behind a
+// per-rule circuit breaker with a dead-letter queue for inspection.
+package eca
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/txn"
+)
+
+// OverloadPolicy selects what a full executor queue does to new
+// detached work.
+type OverloadPolicy int
+
+// Overload policies.
+const (
+	// OverloadBlock stalls the raising goroutine until queue space
+	// frees up (backpressure; the default).
+	OverloadBlock OverloadPolicy = iota
+	// OverloadShed rejects the spawn with ErrOverload and records it
+	// in the dead-letter queue.
+	OverloadShed
+)
+
+// String implements fmt.Stringer.
+func (p OverloadPolicy) String() string {
+	if p == OverloadShed {
+		return "shed"
+	}
+	return "block"
+}
+
+// Typed executor errors.
+var (
+	// ErrOverload rejects a detached spawn when the queue is full and
+	// the policy is OverloadShed.
+	ErrOverload = errors.New("eca: executor overloaded")
+	// ErrDraining rejects detached spawns after Drain or Close began.
+	ErrDraining = errors.New("eca: executor draining")
+	// ErrRuleDeadline aborts a rule transaction whose attempt exceeded
+	// its deadline.
+	ErrRuleDeadline = errors.New("eca: rule deadline exceeded")
+	// ErrBreakerOpen rejects a spawn whose rule's circuit breaker is
+	// open.
+	ErrBreakerOpen = errors.New("eca: rule circuit breaker open")
+)
+
+// DeadLetter records one detached rule firing the executor gave up
+// on: shed under overload, rejected at an open breaker, or failed
+// after its retry budget.
+type DeadLetter struct {
+	Rule     string    `json:"rule"`
+	EventKey string    `json:"event"`
+	Seq      uint64    `json:"seq"`
+	Time     time.Time `json:"time"`
+	Err      string    `json:"error"`
+	Attempts int       `json:"attempts"`
+	Reason   string    `json:"reason"`
+}
+
+// BreakerState is an inspectable snapshot of one rule's circuit
+// breaker.
+type BreakerState struct {
+	Rule        string    `json:"rule"`
+	Open        bool      `json:"open"`
+	Consecutive int       `json:"consecutive"`
+	Since       time.Time `json:"since"`
+	LastErr     string    `json:"last_error,omitempty"`
+}
+
+// breaker tracks consecutive permanent failures of one rule.
+type breaker struct {
+	consecutive int
+	open        bool
+	since       time.Time
+	lastErr     string
+}
+
+// ruleJob is one detached firing queued for the worker pool. For the
+// parallel- and exclusive-causal modes the rule transaction and its
+// dependency edges were created synchronously at firing time (§3.2:
+// the rule "may begin in parallel", so the dependency must hold no
+// matter how the scheduler interleaves the trigger's resolution);
+// retries recreate them from ids. Sequential-causal jobs carry no
+// transaction: they may not even initiate until the trigger commits.
+type ruleJob struct {
+	rule *Rule
+	in   *event.Instance
+	mode Coupling
+	ids  []uint64
+	t    *txn.Txn // first-attempt transaction (nil for sequential-causal)
+	veto error    // causal veto discovered at firing time
+}
+
+// executor is the bounded worker pool detached rule firings run on.
+// All state is mutex-guarded (metrics live in obs; rawatomics keeps
+// raw atomics out of engine code).
+type executor struct {
+	e     *Engine
+	queue chan ruleJob
+	// drainCh closes when draining begins, unblocking submitters
+	// parked on a full queue and workers parked in a backoff sleep.
+	drainCh chan struct{}
+	workers sync.WaitGroup
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	inflight  int // accepted jobs not yet finished (queued or running)
+	draining  bool
+	jitterSeq uint64
+	breakers  map[string]*breaker
+	dead      []DeadLetter
+}
+
+func newExecutor(e *Engine) *executor {
+	x := &executor{
+		e:        e,
+		queue:    make(chan ruleJob, e.opts.Queue),
+		drainCh:  make(chan struct{}),
+		breakers: make(map[string]*breaker),
+	}
+	x.cond = sync.NewCond(&x.mu)
+	x.workers.Add(e.opts.Workers)
+	for i := 0; i < e.opts.Workers; i++ {
+		go x.worker()
+	}
+	return x
+}
+
+// submit reserves an in-flight slot and enqueues the job. The
+// reservation happens before the channel send so WaitDetached and
+// Drain observe the job the moment the raising goroutine returns —
+// no spawn can be lost between acceptance and execution.
+func (x *executor) submit(job ruleJob) error {
+	x.mu.Lock()
+	if x.draining {
+		x.mu.Unlock()
+		return ErrDraining
+	}
+	x.inflight++
+	x.mu.Unlock()
+	if x.e.opts.Overload == OverloadShed {
+		select {
+		case x.queue <- job:
+		default:
+			x.jobDone()
+			return ErrOverload
+		}
+	} else {
+		select {
+		case x.queue <- job:
+		case <-x.drainCh:
+			x.jobDone()
+			return ErrDraining
+		}
+	}
+	depth := int64(len(x.queue))
+	x.e.met.execQueue.Set(depth)
+	x.e.met.execQueueHigh.SetMax(depth)
+	return nil
+}
+
+// jobDone releases an in-flight reservation and wakes waiters.
+func (x *executor) jobDone() {
+	x.mu.Lock()
+	x.inflight--
+	x.mu.Unlock()
+	x.cond.Broadcast()
+}
+
+func (x *executor) worker() {
+	defer x.workers.Done()
+	for job := range x.queue {
+		x.e.met.execQueue.Set(int64(len(x.queue)))
+		x.runJob(job)
+		x.jobDone()
+	}
+}
+
+// drain flips the executor into draining mode (idempotent) and wakes
+// anything parked on the queue.
+func (x *executor) drain() {
+	x.mu.Lock()
+	if !x.draining {
+		x.draining = true
+		close(x.drainCh)
+	}
+	x.mu.Unlock()
+}
+
+// awaitIdle blocks until every accepted job has finished or ctx
+// expires.
+func (x *executor) awaitIdle(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		// Taking the mutex serializes with a waiter between its
+		// ctx.Err check and its park, so the broadcast cannot be lost.
+		x.mu.Lock()
+		x.mu.Unlock()
+		x.cond.Broadcast()
+	})
+	defer stop()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for x.inflight > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		x.cond.Wait() //lint:allow lockdiscipline sync.Cond.Wait atomically releases the mutex while parked
+	}
+	return nil
+}
+
+// shutdown stops the workers. The caller must have drained first so
+// no submitter can race the queue close.
+func (x *executor) shutdown() {
+	close(x.queue)
+	x.workers.Wait()
+}
+
+// breakerOpen reports whether the rule's circuit breaker is open.
+func (x *executor) breakerOpen(rule string) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	b := x.breakers[rule]
+	return b != nil && b.open
+}
+
+// recordSuccess closes the failure streak on a successful attempt.
+func (x *executor) recordSuccess(rule string) {
+	x.mu.Lock()
+	if b := x.breakers[rule]; b != nil {
+		b.consecutive = 0
+	}
+	x.mu.Unlock()
+}
+
+// recordFailure counts a permanent failure against the rule's
+// breaker, trips it at the threshold, and dead-letters the firing.
+func (x *executor) recordFailure(r *Rule, in *event.Instance, attempts int, err error, reason string) {
+	threshold := x.e.breakerThreshold(r)
+	now := x.e.clk.Now()
+	x.mu.Lock()
+	b := x.breakers[r.Name]
+	if b == nil {
+		b = &breaker{}
+		x.breakers[r.Name] = b
+	}
+	b.consecutive++
+	b.lastErr = err.Error()
+	tripped := false
+	if threshold > 0 && !b.open && b.consecutive >= threshold {
+		b.open = true
+		b.since = now
+		tripped = true
+	}
+	x.mu.Unlock()
+	if tripped {
+		x.e.met.breakerTrips.Inc()
+		x.e.met.breakerOpen.Add(1)
+	}
+	x.addDeadLetter(r, in, attempts, err, reason)
+}
+
+// addDeadLetter appends to the bounded dead-letter ring.
+func (x *executor) addDeadLetter(r *Rule, in *event.Instance, attempts int, err error, reason string) {
+	dl := DeadLetter{
+		Rule:     r.Name,
+		EventKey: r.EventKey,
+		Seq:      in.Seq,
+		Time:     x.e.clk.Now(),
+		Err:      err.Error(),
+		Attempts: attempts,
+		Reason:   reason,
+	}
+	x.mu.Lock()
+	x.dead = append(x.dead, dl)
+	if over := len(x.dead) - x.e.opts.DeadLetterCapacity; over > 0 {
+		x.dead = append(x.dead[:0:0], x.dead[over:]...)
+	}
+	depth := len(x.dead)
+	x.mu.Unlock()
+	x.e.met.deadLetters.Inc()
+	x.e.met.deadDepth.Set(int64(depth))
+}
+
+// runJob drives one detached firing through its attempt loop:
+// (re-)establish the causal preconditions, run the attempt under
+// deadline and panic supervision, classify the failure, and either
+// back off and retry or feed the breaker and the dead-letter queue.
+func (x *executor) runJob(job ruleJob) {
+	e := x.e
+	r := job.rule
+	maxAttempts := 1 + e.ruleRetries(r)
+	start := e.clk.Now()
+	t, veto := job.t, job.veto
+	var err error
+	attempt := 0
+	for {
+		attempt++
+		if job.mode == DetachedSequentialCausal {
+			// Sequential-causal rules may not initiate until every
+			// trigger transaction committed (§3.2); the outcome is
+			// re-checked before each attempt.
+			if !e.seqCausalReady(job.ids) {
+				return
+			}
+			t = e.beginRuleTxn()
+		} else if t == nil {
+			// Retry: a fresh rule transaction with fresh dependency
+			// edges against whatever the triggers have become.
+			t, veto = e.detachedTxn(job.mode, job.ids, r.Name)
+		}
+		if veto != nil {
+			// A trigger already resolved the wrong way. Not a failure
+			// of the rule: abort silently, as Table 1 prescribes.
+			_ = t.AbortWith(veto)
+			return
+		}
+		err = x.runAttempt(t, r, job.in)
+		t = nil
+		if err == nil {
+			e.met.latDetached.Observe(e.clk.Now().Sub(start))
+			x.recordSuccess(r.Name)
+			return
+		}
+		if errors.Is(err, txn.ErrDependencyFailed) {
+			// Causal dependency resolved against the rule at commit:
+			// normal §3.2 operation, not a rule failure.
+			e.met.latDetached.Observe(e.clk.Now().Sub(start))
+			return
+		}
+		if errors.Is(err, ErrRuleDeadline) {
+			e.met.deadlines.Inc()
+			break
+		}
+		if !txn.IsRetriable(err) || attempt >= maxAttempts {
+			break
+		}
+		e.met.retries.Inc()
+		if !x.backoff(attempt) {
+			break // draining: give up the remaining budget
+		}
+	}
+	e.met.latDetached.Observe(e.clk.Now().Sub(start))
+	x.recordFailure(r, job.in, attempt, err, failReason(err))
+}
+
+// failReason buckets a permanent failure for the dead-letter record.
+func failReason(err error) string {
+	switch {
+	case errors.Is(err, ErrRuleDeadline):
+		return "deadline"
+	case txn.IsRetriable(err):
+		return "retries-exhausted"
+	default:
+		return "failed"
+	}
+}
+
+// runAttempt executes one rule attempt on t with deadline and panic
+// supervision. On deadline expiry the watchdog aborts the rule
+// transaction (cancelling its lock waits) and cancels the context
+// handed to the rule body via RuleCtx.Context.
+func (x *executor) runAttempt(t *txn.Txn, r *Rule, in *event.Instance) error {
+	e := x.e
+	ctx := context.Background()
+	d := e.ruleTimeout(r)
+	var expired *deadlineFlag
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		f := &deadlineFlag{}
+		expired = f
+		timer := e.clk.AfterFunc(d, func() {
+			f.set()
+			cancel()
+			_ = t.AbortWith(ErrRuleDeadline)
+		})
+		defer timer.Stop()
+	}
+	err := e.runRuleGuarded(ctx, t, r, in)
+	if err != nil && expired != nil && expired.get() {
+		// The watchdog abort surfaces as whatever operation the rule
+		// body was in (ErrNotActive, a cancelled lock wait, ...);
+		// reclassify it so the deadline is reported, not the symptom.
+		return fmt.Errorf("eca: rule %s: %w", r.Name, ErrRuleDeadline)
+	}
+	return err
+}
+
+// deadlineFlag is a mutex-guarded bool shared between the watchdog
+// timer and the worker.
+type deadlineFlag struct {
+	mu    sync.Mutex
+	fired bool
+}
+
+func (f *deadlineFlag) set() {
+	f.mu.Lock()
+	f.fired = true
+	f.mu.Unlock()
+}
+
+func (f *deadlineFlag) get() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// backoff sleeps exponentially (with deterministic jitter) before a
+// retry; it returns false when draining began, telling the caller to
+// abandon the retry budget.
+func (x *executor) backoff(attempt int) bool {
+	d := x.e.opts.RetryBackoff << uint(attempt-1)
+	if max := x.e.opts.RetryBackoffMax; d > max {
+		d = max
+	}
+	x.mu.Lock()
+	x.jitterSeq++
+	z := x.jitterSeq + 0x9e3779b97f4a7c15
+	x.mu.Unlock()
+	// splitmix64 finalizer: deterministic, dependency-free jitter.
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if span := uint64(d / 4); span > 0 {
+		d += time.Duration(z % span)
+	}
+	select {
+	case <-x.e.clk.After(d):
+		return true
+	case <-x.drainCh:
+		return false
+	}
+}
+
+// --- engine-side API ---
+
+// spawnDetached routes a detached firing onto the executor: breaker
+// check, synchronous transaction + dependency setup for the modes
+// that "may begin in parallel" (§3.2), then admission under the
+// overload policy. Only accepted firings count as fired.
+func (e *Engine) spawnDetached(r *Rule, in *event.Instance) {
+	x := e.exec
+	if x.breakerOpen(r.Name) {
+		e.met.rejBreaker.Inc()
+		x.addDeadLetter(r, in, 0, ErrBreakerOpen, "breaker-open")
+		return
+	}
+	mode := r.condMode()
+	txns := in.Transactions()
+	ids := make([]uint64, 0, len(txns))
+	for id := range txns {
+		ids = append(ids, id)
+	}
+	job := ruleJob{rule: r, in: in, mode: mode, ids: ids}
+	if mode != DetachedSequentialCausal {
+		job.t, job.veto = e.detachedTxn(mode, ids, r.Name)
+	}
+	if err := x.submit(job); err != nil {
+		if job.t != nil {
+			_ = job.t.AbortWith(err)
+		}
+		if errors.Is(err, ErrOverload) {
+			e.met.rejOverload.Inc()
+			x.addDeadLetter(r, in, 0, err, "overload")
+		} else {
+			e.met.rejDraining.Inc()
+		}
+		return
+	}
+	e.met.firedDetached.Inc()
+}
+
+// detachedTxn begins a rule transaction and registers the causal
+// dependency edges against every transaction the triggering event
+// originated from (Table 1: "all commit" / "all abort").
+func (e *Engine) detachedTxn(mode Coupling, ids []uint64, ruleName string) (*txn.Txn, error) {
+	t := e.beginRuleTxn()
+	var veto error
+	switch mode {
+	case DetachedParallelCausal:
+		for _, id := range ids {
+			live, st, known := e.txnOutcome(id)
+			switch {
+			case live != nil:
+				t.RequireCommit(live)
+			case known && st == txn.Aborted:
+				veto = fmt.Errorf("eca: rule %s: trigger txn %d aborted", ruleName, id)
+			}
+		}
+	case DetachedExclusiveCausal:
+		for _, id := range ids {
+			live, st, known := e.txnOutcome(id)
+			switch {
+			case live != nil:
+				t.RequireAbort(live)
+			case known && st == txn.Committed:
+				veto = fmt.Errorf("eca: rule %s: trigger txn %d committed", ruleName, id)
+			}
+		}
+	}
+	return t, veto
+}
+
+// seqCausalReady blocks until every trigger transaction resolves and
+// reports whether all of them committed.
+func (e *Engine) seqCausalReady(ids []uint64) bool {
+	for _, id := range ids {
+		live, st, known := e.txnOutcome(id)
+		if live != nil {
+			st = live.Wait()
+		} else if !known {
+			st = txn.Committed // evicted long ago; assume committed
+		}
+		if st != txn.Committed {
+			return false
+		}
+	}
+	return true
+}
+
+// ruleTimeout resolves the attempt deadline for r: the rule's own
+// Timeout, or the engine default; negative disables.
+func (e *Engine) ruleTimeout(r *Rule) time.Duration {
+	if r.Timeout != 0 {
+		if r.Timeout < 0 {
+			return 0
+		}
+		return r.Timeout
+	}
+	return e.opts.RuleTimeout
+}
+
+// ruleRetries resolves the retry budget for r; negative disables.
+func (e *Engine) ruleRetries(r *Rule) int {
+	n := e.opts.RuleRetries
+	if r.Retries != 0 {
+		n = r.Retries
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// breakerThreshold resolves the breaker threshold for r; 0 after
+// resolution means the breaker is disabled.
+func (e *Engine) breakerThreshold(r *Rule) int {
+	n := e.opts.BreakerThreshold
+	if r.Breaker != 0 {
+		n = r.Breaker
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// WaitDetached blocks until every accepted detached rule execution
+// has finished. Tests and the bench harness use it as a barrier.
+func (e *Engine) WaitDetached() {
+	x := e.exec
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for x.inflight > 0 {
+		x.cond.Wait() //lint:allow lockdiscipline sync.Cond.Wait atomically releases the mutex while parked
+	}
+}
+
+// Drain flips the engine into shutdown mode: new detached spawns are
+// refused with ErrDraining, and the call blocks until every accepted
+// firing has finished or ctx expires. Draining is sticky; Close
+// completes the shutdown.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.exec.drain()
+	return e.exec.awaitIdle(ctx)
+}
+
+// DeadLetters returns the dead-letter queue, oldest first.
+func (e *Engine) DeadLetters() []DeadLetter {
+	x := e.exec
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]DeadLetter(nil), x.dead...)
+}
+
+// ClearDeadLetters empties the dead-letter queue and reports how many
+// entries were dropped.
+func (e *Engine) ClearDeadLetters() int {
+	x := e.exec
+	x.mu.Lock()
+	n := len(x.dead)
+	x.dead = nil
+	x.mu.Unlock()
+	e.met.deadDepth.Set(0)
+	return n
+}
+
+// Breakers snapshots every rule breaker, sorted by rule name.
+func (e *Engine) Breakers() []BreakerState {
+	x := e.exec
+	x.mu.Lock()
+	out := make([]BreakerState, 0, len(x.breakers))
+	for name, b := range x.breakers {
+		out = append(out, BreakerState{
+			Rule:        name,
+			Open:        b.open,
+			Consecutive: b.consecutive,
+			Since:       b.since,
+			LastErr:     b.lastErr,
+		})
+	}
+	x.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
+	return out
+}
+
+// RearmRule closes the rule's circuit breaker and resets its failure
+// streak so the rule fires again. It reports whether the rule had a
+// breaker record.
+func (e *Engine) RearmRule(name string) bool {
+	x := e.exec
+	x.mu.Lock()
+	b := x.breakers[name]
+	found := b != nil
+	wasOpen := found && b.open
+	if found {
+		b.open = false
+		b.consecutive = 0
+	}
+	x.mu.Unlock()
+	if wasOpen {
+		e.met.breakerOpen.Add(-1)
+	}
+	return found
+}
+
+// runRuleGuarded executes the rule body with panic containment: a
+// panicking condition or action aborts the rule transaction, captures
+// the stack into the trace ring, and surfaces as an error.
+func (e *Engine) runRuleGuarded(ctx context.Context, t *txn.Txn, r *Rule, in *event.Instance) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = e.recoverRulePanic(t, r, in, p)
+		}
+	}()
+	return e.runRuleCtx(ctx, t, r, in)
+}
+
+// recoverRulePanic converts a recovered rule-body panic into a
+// rule-transaction abort, recording the stack on the trigger's trace.
+func (e *Engine) recoverRulePanic(t *txn.Txn, r *Rule, in *event.Instance, p any) error {
+	e.met.panics.Inc()
+	cause := fmt.Errorf("eca: rule %s panicked: %v", r.Name, p)
+	now := e.clk.Now()
+	e.tracer.Span(in.Trace, "panic", r.Name+": "+stackSnippet(debug.Stack()), now, 0)
+	if t != nil {
+		_ = t.AbortWith(cause)
+	}
+	return cause
+}
+
+// stackSnippet truncates a panic stack to a trace-ring-friendly size.
+func stackSnippet(stack []byte) string {
+	const max = 640
+	if len(stack) > max {
+		stack = stack[:max]
+	}
+	return string(stack)
+}
+
+// runBatch runs the non-nil entries on parallel goroutines and
+// returns their errors index-aligned. A panicking entry is recovered
+// in its worker and surfaced as that entry's error, so errors.Join
+// reports it instead of the process dying.
+func runBatch(fns []func() error) []error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		if fn == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("eca: parallel rule batch entry panicked: %v\n%s",
+						p, stackSnippet(debug.Stack()))
+				}
+			}()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	return errs
+}

@@ -1,0 +1,725 @@
+package eca
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/fault"
+	"repro/internal/oodb"
+	"repro/internal/txn"
+)
+
+// newExecEngine builds an engine over an in-memory database with the
+// monitored Sensor class and the given clock. Retry backoff sleeps on
+// the engine clock, so tests that exercise retries use a real clock
+// (a virtual clock would park the worker until an Advance nobody
+// issues).
+func newExecEngine(t *testing.T, opts Options, clk clock.Clock) (*Engine, *oodb.DB) {
+	t.Helper()
+	db, err := oodb.Open(oodb.Options{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerSensor(t, db)
+	e := New(db, opts)
+	t.Cleanup(e.Close)
+	return e, db
+}
+
+func registerSensor(t *testing.T, db *oodb.DB) {
+	t.Helper()
+	sensor := oodb.NewClass("Sensor",
+		oodb.Attr{Name: "val", Type: oodb.TInt},
+		oodb.Attr{Name: "alarms", Type: oodb.TInt},
+	)
+	sensor.Monitored = true
+	sensor.Method("ping", func(ctx *oodb.Ctx, self *oodb.Object, args []any) (any, error) {
+		return nil, ctx.Set(self, "val", args[0])
+	})
+	sensor.Method("reset", func(ctx *oodb.Ctx, self *oodb.Object, args []any) (any, error) {
+		return nil, ctx.Set(self, "val", int64(0))
+	})
+	if err := db.Dictionary().Register(sensor); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fireOnce raises the Sensor ping event in its own committed
+// transaction, spawning whatever detached rules listen on it.
+func fireOnce(t *testing.T, db *oodb.DB, obj *oodb.Object) {
+	t.Helper()
+	tx := db.Begin()
+	if _, err := db.Invoke(tx, obj, "ping", int64(1)); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit trigger: %v", err)
+	}
+}
+
+// TestDetachedDeadlockRetry forces two detached rules into a genuine
+// lock-order deadlock (A→B vs B→A, rendezvous after the first lock)
+// and verifies the victim is retried with backoff until it succeeds:
+// retries counted, no dead letters, breakers untouched.
+func TestDetachedDeadlockRetry(t *testing.T) {
+	e, db := newExecEngine(t, Options{
+		RetryBackoff:    time.Millisecond,
+		RetryBackoffMax: 5 * time.Millisecond,
+	}, clock.NewReal())
+	objA := newSensor(t, db)
+	objB := newSensor(t, db)
+
+	var gate sync.WaitGroup
+	gate.Add(2)
+	mk := func(name string, first, second *oodb.Object) *Rule {
+		var attempts atomic.Int32
+		return &Rule{
+			Name: name, EventKey: pingKey(), ActionMode: Detached,
+			Action: func(rc *RuleCtx) error {
+				n := attempts.Add(1)
+				if err := rc.Ctx().Set(first, "alarms", int64(1)); err != nil {
+					return err
+				}
+				if n == 1 {
+					// Both rules hold their first lock before either
+					// requests its second: the cycle is inevitable.
+					gate.Done()
+					gate.Wait()
+				}
+				return rc.Ctx().Set(second, "alarms", int64(2))
+			},
+		}
+	}
+	if err := e.AddRule(mk("lockAB", objA, objB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(mk("lockBA", objB, objA)); err != nil {
+		t.Fatal(err)
+	}
+
+	fireOnce(t, db, objA)
+	e.WaitDetached()
+
+	if got := e.met.retries.Value(); got < 1 {
+		t.Fatalf("reach_rule_retries_total = %d, want >= 1", got)
+	}
+	if dl := e.DeadLetters(); len(dl) != 0 {
+		t.Fatalf("deadlock victim dead-lettered instead of retried: %+v", dl)
+	}
+	for _, b := range e.Breakers() {
+		if b.Open || b.Consecutive != 0 {
+			t.Fatalf("breaker fed by a retriable abort: %+v", b)
+		}
+	}
+}
+
+// TestDetachedRetriesExhausted drains the retry budget on a rule that
+// always aborts as a deadlock victim and verifies the dead-letter
+// record: reason, attempt count, retry metric.
+func TestDetachedRetriesExhausted(t *testing.T) {
+	e, db := newExecEngine(t, Options{
+		RuleRetries:  2,
+		RetryBackoff: time.Millisecond,
+	}, clock.NewReal())
+	obj := newSensor(t, db)
+
+	var attempts atomic.Int32
+	if err := e.AddRule(&Rule{
+		Name: "victim", EventKey: pingKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error {
+			attempts.Add(1)
+			return fmt.Errorf("forced: %w", txn.ErrDeadlock)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fireOnce(t, db, obj)
+	e.WaitDetached()
+
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+	if got := e.met.retries.Value(); got != 2 {
+		t.Fatalf("reach_rule_retries_total = %d, want 2", got)
+	}
+	dl := e.DeadLetters()
+	if len(dl) != 1 {
+		t.Fatalf("dead letters = %+v, want exactly one", dl)
+	}
+	if dl[0].Reason != "retries-exhausted" || dl[0].Attempts != 3 || dl[0].Rule != "victim" {
+		t.Fatalf("dead letter = %+v, want reason retries-exhausted after 3 attempts", dl[0])
+	}
+}
+
+// TestBreakerTripAndRearm walks a permanently failing rule through
+// the breaker lifecycle: consecutive failures trip it at the
+// threshold, spawns are then rejected straight to the dead-letter
+// queue, and RearmRule closes it again.
+func TestBreakerTripAndRearm(t *testing.T) {
+	e, db, _ := newTestEngine(t, Options{BreakerThreshold: 2})
+	obj := newSensor(t, db)
+
+	var runs atomic.Int32
+	if err := e.AddRule(&Rule{
+		Name: "perma", EventKey: pingKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error {
+			runs.Add(1)
+			return errors.New("permanent failure")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fireOnce(t, db, obj)
+	e.WaitDetached()
+	bs := e.Breakers()
+	if len(bs) != 1 || bs[0].Open || bs[0].Consecutive != 1 {
+		t.Fatalf("after 1 failure: breakers = %+v", bs)
+	}
+
+	fireOnce(t, db, obj)
+	e.WaitDetached()
+	bs = e.Breakers()
+	if len(bs) != 1 || !bs[0].Open || bs[0].Consecutive != 2 {
+		t.Fatalf("after 2 failures: breakers = %+v, want open", bs)
+	}
+	if got := e.met.breakerTrips.Value(); got != 1 {
+		t.Fatalf("reach_rule_breaker_trips_total = %d, want 1", got)
+	}
+	if got := e.met.breakerOpen.Value(); got != 1 {
+		t.Fatalf("reach_rule_breaker_open = %d, want 1", got)
+	}
+
+	// Open breaker: the spawn is rejected before it reaches the pool.
+	fireOnce(t, db, obj)
+	e.WaitDetached()
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("rule ran %d times, want 2 (third spawn rejected at breaker)", got)
+	}
+	if got := e.met.rejBreaker.Value(); got != 1 {
+		t.Fatalf("rejected{breaker-open} = %d, want 1", got)
+	}
+	dl := e.DeadLetters()
+	if len(dl) != 3 || dl[2].Reason != "breaker-open" {
+		t.Fatalf("dead letters = %+v, want third with reason breaker-open", dl)
+	}
+
+	if e.RearmRule("ghost") {
+		t.Fatal("RearmRule invented a breaker record for an unknown rule")
+	}
+	if !e.RearmRule("perma") {
+		t.Fatal("RearmRule(perma) = false, want true")
+	}
+	if got := e.met.breakerOpen.Value(); got != 0 {
+		t.Fatalf("reach_rule_breaker_open after rearm = %d, want 0", got)
+	}
+	bs = e.Breakers()
+	if bs[0].Open || bs[0].Consecutive != 0 {
+		t.Fatalf("after rearm: breakers = %+v, want closed", bs)
+	}
+
+	fireOnce(t, db, obj)
+	e.WaitDetached()
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("rearmed rule ran %d times, want 3", got)
+	}
+}
+
+// TestDetachedOverloadShed fills a Workers=1/Queue=1 executor and
+// verifies the third spawn is shed: counted, dead-lettered, never
+// executed.
+func TestDetachedOverloadShed(t *testing.T) {
+	e, db, _ := newTestEngine(t, Options{Workers: 1, Queue: 1, Overload: OverloadShed})
+	obj := newSensor(t, db)
+
+	started := make(chan struct{}, 3)
+	hold := make(chan struct{})
+	var ran atomic.Int32
+	if err := e.AddRule(&Rule{
+		Name: "slowpoke", EventKey: pingKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error {
+			started <- struct{}{}
+			<-hold
+			ran.Add(1)
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fireOnce(t, db, obj) // occupies the single worker...
+	<-started            // ...and the queue is observably empty again
+	fireOnce(t, db, obj) // fills the queue
+	fireOnce(t, db, obj) // shed
+
+	if got := e.met.rejOverload.Value(); got != 1 {
+		t.Fatalf("rejected{overload} = %d, want 1", got)
+	}
+	if got := e.met.firedDetached.Value(); got != 2 {
+		t.Fatalf("fired{detached} = %d, want 2 (shed spawn must not count)", got)
+	}
+	dl := e.DeadLetters()
+	if len(dl) != 1 || dl[0].Reason != "overload" || !strings.Contains(dl[0].Err, "overloaded") {
+		t.Fatalf("dead letters = %+v, want one overload entry", dl)
+	}
+
+	close(hold)
+	e.WaitDetached()
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("executed %d firings, want 2", got)
+	}
+}
+
+// TestRuleDeadline gives a blocking rule a per-rule timeout and
+// verifies the watchdog aborts it, cancels RuleCtx.Context, and
+// reports the deadline (not the symptom) in metrics and the
+// dead-letter queue.
+func TestRuleDeadline(t *testing.T) {
+	e, db := newExecEngine(t, Options{}, clock.NewReal())
+	obj := newSensor(t, db)
+
+	if err := e.AddRule(&Rule{
+		Name: "stuck", EventKey: pingKey(), ActionMode: Detached,
+		Timeout: 25 * time.Millisecond,
+		Action: func(rc *RuleCtx) error {
+			<-rc.Context.Done()
+			return rc.Context.Err()
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fireOnce(t, db, obj)
+	e.WaitDetached()
+
+	if got := e.met.deadlines.Value(); got != 1 {
+		t.Fatalf("reach_rule_deadline_total = %d, want 1", got)
+	}
+	dl := e.DeadLetters()
+	if len(dl) != 1 || dl[0].Reason != "deadline" {
+		t.Fatalf("dead letters = %+v, want one deadline entry", dl)
+	}
+	if !strings.Contains(dl[0].Err, "deadline") {
+		t.Fatalf("dead letter error %q does not name the deadline", dl[0].Err)
+	}
+}
+
+// TestRulePanicRecovered verifies a panicking detached rule aborts
+// its own transaction, lands in the dead-letter queue with the panic
+// message, and leaves the stack in the trace ring — without killing
+// the process or the worker.
+func TestRulePanicRecovered(t *testing.T) {
+	e, db, _ := newTestEngine(t, Options{})
+	obj := newSensor(t, db)
+
+	if err := e.AddRule(&Rule{
+		Name: "bomb", EventKey: pingKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error {
+			panic("kaboom")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fireOnce(t, db, obj)
+	e.WaitDetached()
+
+	if got := e.met.panics.Value(); got != 1 {
+		t.Fatalf("reach_rule_panics_total = %d, want 1", got)
+	}
+	dl := e.DeadLetters()
+	if len(dl) != 1 || !strings.Contains(dl[0].Err, "panicked: kaboom") {
+		t.Fatalf("dead letters = %+v, want one panic entry", dl)
+	}
+	found := false
+	for _, tr := range e.Tracer().Recent(16) {
+		for _, sp := range tr.Spans {
+			if sp.Stage == "panic" && strings.Contains(sp.Key, "bomb") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no panic span with the rule's stack in the trace ring")
+	}
+
+	// The worker survived: the next firing still executes.
+	var ok atomic.Bool
+	if err := e.AddRule(&Rule{
+		Name: "after", EventKey: resetKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error { ok.Store(true); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := db.Invoke(tx, obj, "reset"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.WaitDetached()
+	if !ok.Load() {
+		t.Fatal("worker did not survive the panic")
+	}
+}
+
+// TestParallelDeferredPanicIsolated pins the ParallelExec deferred
+// batch: a panicking entry surfaces as that entry's error through
+// errors.Join at commit, and its sibling still runs.
+func TestParallelDeferredPanicIsolated(t *testing.T) {
+	e, db, _ := newTestEngine(t, Options{Exec: ParallelExec})
+	obj := newSensor(t, db)
+
+	var okRan atomic.Bool
+	if err := e.AddRule(&Rule{
+		Name: "boomDef", EventKey: pingKey(), ActionMode: Deferred,
+		Action: func(rc *RuleCtx) error { panic("deferred kaboom") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(&Rule{
+		Name: "okDef", EventKey: pingKey(), ActionMode: Deferred,
+		Action: func(rc *RuleCtx) error { okRan.Store(true); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	if _, err := db.Invoke(tx, obj, "ping", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if err == nil || !strings.Contains(err.Error(), "panicked: deferred kaboom") {
+		t.Fatalf("commit error = %v, want the recovered panic", err)
+	}
+	if !okRan.Load() {
+		t.Fatal("sibling deferred rule did not run")
+	}
+	if got := e.met.panics.Value(); got != 1 {
+		t.Fatalf("reach_rule_panics_total = %d, want 1", got)
+	}
+}
+
+// TestCloseStopsTemporalHandles pins the timer-leak fix: a periodic
+// temporal source armed on a virtual clock must leave zero pending
+// timers once the engine closes, even though nobody called Stop on
+// the handle.
+func TestCloseStopsTemporalHandles(t *testing.T) {
+	e, _, vc := newTestEngine(t, Options{})
+	if _, err := e.ArmTemporal(event.TemporalSpec{
+		Name: "tick", Temporal: event.Periodic, Period: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if vc.PendingTimers() == 0 {
+		t.Fatal("periodic source armed no timer")
+	}
+	e.Close()
+	if n := vc.PendingTimers(); n != 0 {
+		t.Fatalf("%d timers leaked past Close (periodic handle re-armed itself)", n)
+	}
+}
+
+// TestCloseReleasesGoroutines closes an engine with live workers and
+// an armed periodic source and polls until the goroutine count
+// returns to its pre-open baseline.
+func TestCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	db, err := oodb.Open(oodb.Options{Clock: clock.NewReal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerSensor(t, db)
+	e := New(db, Options{Workers: 6})
+	if _, err := e.ArmTemporal(event.TemporalSpec{
+		Name: "tick", Temporal: event.Periodic, Period: 5 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	obj := newSensor(t, db)
+	if err := e.AddRule(&Rule{
+		Name: "noop", EventKey: pingKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error { return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		fireOnce(t, db, obj)
+	}
+	e.WaitDetached()
+	e.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines: %d before open, %d after Close", before, got)
+	}
+}
+
+// TestDrainWaitDetachedRace hammers WaitDetached and Drain while
+// raisers keep spawning detached work. Invariants under -race: every
+// accepted spawn executes exactly once, and no rule body starts after
+// Drain returns.
+func TestDrainWaitDetachedRace(t *testing.T) {
+	e, db := newExecEngine(t, Options{Workers: 4, Queue: 16}, clock.NewReal())
+	obj := newSensor(t, db)
+
+	var executed atomic.Int64
+	if err := e.AddRule(&Rule{
+		Name: "count", EventKey: pingKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error { executed.Add(1); return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var raisers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		raisers.Add(1)
+		go func() {
+			defer raisers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := db.Begin()
+				_, _ = db.Invoke(tx, obj, "ping", int64(1))
+				_ = tx.Commit()
+			}
+		}()
+	}
+	var waiters sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		waiters.Add(1)
+		go func() {
+			defer waiters.Done()
+			for i := 0; i < 25; i++ {
+				e.WaitDetached()
+			}
+		}()
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	atDrain := executed.Load()
+	close(stop)
+	raisers.Wait()
+	waiters.Wait()
+	time.Sleep(10 * time.Millisecond)
+
+	if got := executed.Load(); got != atDrain {
+		t.Fatalf("rule body ran after Drain returned: %d -> %d", atDrain, got)
+	}
+	if fired := e.met.firedDetached.Value(); fired != uint64(atDrain) {
+		t.Fatalf("accepted %d spawns but executed %d: a spawn was lost", fired, atDrain)
+	}
+	if got := e.met.rejDraining.Value(); got == 0 {
+		t.Log("no spawns were rejected while draining (raisers stopped early); invariants still hold")
+	}
+}
+
+// TestDrainDeadlineExpires verifies Drain honors its context while a
+// rule is still running, and that draining is sticky: the spawn that
+// follows is refused.
+func TestDrainDeadlineExpires(t *testing.T) {
+	e, db := newExecEngine(t, Options{Workers: 1}, clock.NewReal())
+	obj := newSensor(t, db)
+
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	if err := e.AddRule(&Rule{
+		Name: "holdup", EventKey: pingKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error {
+			close(started)
+			<-hold
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fireOnce(t, db, obj)
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := e.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want context.DeadlineExceeded", err)
+	}
+
+	fireOnce(t, db, obj) // refused: draining is sticky
+	if got := e.met.rejDraining.Value(); got != 1 {
+		t.Fatalf("rejected{draining} = %d, want 1", got)
+	}
+
+	close(hold)
+	if err := e.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+// TestDetachedRuleFaultInjection exercises the executor against the
+// storage fault substrate: a WAL-append failpoint makes the rule
+// transaction's commit fail with an injected (non-retriable) error,
+// which must feed the breaker and the dead-letter queue.
+func TestDetachedRuleFaultInjection(t *testing.T) {
+	db, err := oodb.Open(oodb.Options{Dir: t.TempDir(), Clock: clock.NewReal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerSensor(t, db)
+	e := New(db, Options{})
+	t.Cleanup(e.Close)
+	obj := newSensor(t, db)
+	// Persist the sensor: only persistent objects reach the store (and
+	// therefore the WAL failpoint) at commit.
+	tx := db.Begin()
+	if err := db.Persist(tx, obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	hold := make(chan struct{})
+	if err := e.AddRule(&Rule{
+		Name: "walvictim", EventKey: pingKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error {
+			<-hold // commit only after the failpoint is armed
+			return rc.Ctx().Set(obj, "alarms", int64(7))
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fireOnce(t, db, obj) // trigger commits before the failpoint arms
+	if err := fault.Arm(fault.SiteWALAppend, "error"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.DisarmAll)
+	close(hold)
+	e.WaitDetached()
+
+	dl := e.DeadLetters()
+	if len(dl) != 1 || dl[0].Reason != "failed" {
+		t.Fatalf("dead letters = %+v, want one failed entry", dl)
+	}
+	if !strings.Contains(dl[0].Err, "injected") {
+		t.Fatalf("dead letter error %q does not carry the injected fault", dl[0].Err)
+	}
+	bs := e.Breakers()
+	if len(bs) != 1 || bs[0].Consecutive != 1 {
+		t.Fatalf("breakers = %+v, want one record with a single failure", bs)
+	}
+}
+
+// TestExecutorStress is the make-stress workhorse: a small pool under
+// shed policy, rules that panic, deadlock, fail, and succeed, raisers
+// on several goroutines, and a WAL failpoint injecting storage errors
+// every few commits. The assertions are liveness and bookkeeping: the
+// engine drains within the deadline and every accepted spawn resolved.
+func TestExecutorStress(t *testing.T) {
+	firings := 300
+	if testing.Short() {
+		firings = 80
+	}
+	db, err := oodb.Open(oodb.Options{Dir: t.TempDir(), Clock: clock.NewReal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerSensor(t, db)
+	e := New(db, Options{
+		Workers:          4,
+		Queue:            8,
+		Overload:         OverloadShed,
+		RuleRetries:      2,
+		RetryBackoff:     time.Millisecond,
+		RetryBackoffMax:  4 * time.Millisecond,
+		BreakerThreshold: 1 << 20, // keep failing rules flowing
+	})
+	t.Cleanup(e.Close)
+	obj := newSensor(t, db)
+	// Persist the sensor so rule commits carry WAL traffic for the
+	// armed failpoint to inject into.
+	ptx := db.Begin()
+	if err := db.Persist(ptx, obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := ptx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var completions atomic.Int64
+	var seq atomic.Int64
+	if err := e.AddRule(&Rule{
+		Name: "mixed", EventKey: pingKey(), ActionMode: Detached,
+		Action: func(rc *RuleCtx) error {
+			defer completions.Add(1)
+			switch seq.Add(1) % 11 {
+			case 3:
+				completions.Add(-1) // retried: not a completion yet
+				return fmt.Errorf("forced: %w", txn.ErrDeadlock)
+			case 7:
+				panic("stress kaboom")
+			default:
+				return rc.Ctx().Set(obj, "alarms", seq.Load())
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fault.Arm(fault.SiteWALAppend, "error-every=13"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.DisarmAll)
+
+	var raisers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		raisers.Add(1)
+		go func() {
+			defer raisers.Done()
+			for i := 0; i < firings/4; i++ {
+				tx := db.Begin()
+				_, _ = db.Invoke(tx, obj, "ping", int64(i))
+				_ = tx.Commit() // may fail at the armed failpoint; fine
+			}
+		}()
+	}
+	raisers.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain under stress: %v", err)
+	}
+	fired := e.met.firedDetached.Value()
+	if fired == 0 {
+		t.Fatal("stress run accepted no spawns")
+	}
+	// Every accepted spawn resolved: it either completed an attempt
+	// cycle (success or permanent failure) — panics and injected
+	// faults land in the dead-letter queue alongside it.
+	if got := completions.Load(); uint64(got) > fired {
+		t.Fatalf("completions %d exceed accepted spawns %d", got, fired)
+	}
+	if e.met.panics.Value() == 0 {
+		t.Fatal("stress run never exercised panic recovery")
+	}
+}

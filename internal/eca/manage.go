@@ -82,7 +82,7 @@ func (e *Engine) SetRuleEnabled(eventKey, name string, enabled bool) bool {
 // interval — the "background process" discipline of §6.3. Stop the
 // returned timer chain with the handle.
 func (e *Engine) StartGC(interval time.Duration) *TemporalHandle {
-	h := &TemporalHandle{}
+	h := e.newTemporalHandle()
 	var rearm func()
 	rearm = func() {
 		if e.closed.Load() {

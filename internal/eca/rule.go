@@ -1,6 +1,7 @@
 package eca
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,6 +21,11 @@ type RuleCtx struct {
 	DB      *oodb.DB
 	Txn     *txn.Txn
 	Trigger *event.Instance
+	// Context carries the supervised executor's cancellation signal:
+	// it is cancelled when the rule's deadline expires, so long-running
+	// actions can observe it and return early. Elsewhere it is
+	// context.Background().
+	Context context.Context
 }
 
 // Ctx returns an object-invocation context bound to the rule's
@@ -57,6 +63,16 @@ type Rule struct {
 	Action ActionFunc
 	// Disabled rules stay registered but never fire.
 	Disabled bool
+
+	// Timeout bounds each detached attempt of this rule; 0 uses the
+	// engine's RuleTimeout, negative disables the deadline.
+	Timeout time.Duration
+	// Retries is this rule's retry budget for retriable aborts; 0 uses
+	// the engine's RuleRetries, negative disables retries.
+	Retries int
+	// Breaker is this rule's circuit-breaker threshold; 0 uses the
+	// engine's BreakerThreshold, negative disables the breaker.
+	Breaker int
 
 	// registration metadata, for tie-breaking (§6.4).
 	regSeq  uint64

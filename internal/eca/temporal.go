@@ -9,8 +9,12 @@ import (
 	"repro/internal/txn"
 )
 
-// TemporalHandle controls an armed temporal event source.
+// TemporalHandle controls an armed temporal event source. Handles
+// are registered with their engine so Close disarms whatever the
+// caller forgot to Stop — a periodic source must not keep re-arming
+// its timer chain after shutdown.
 type TemporalHandle struct {
+	e       *Engine
 	mu      sync.Mutex
 	timer   *clock.Timer
 	stopped bool
@@ -19,10 +23,13 @@ type TemporalHandle struct {
 // Stop disarms the temporal event; periodic events stop re-arming.
 func (h *TemporalHandle) Stop() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.stopped = true
 	if h.timer != nil {
 		h.timer.Stop()
+	}
+	h.mu.Unlock()
+	if h.e != nil {
+		h.e.dropTemporal(h)
 	}
 }
 
@@ -42,7 +49,7 @@ func (h *TemporalHandle) setTimer(t *clock.Timer) bool {
 // Rules on temporal events execute detached (Table 1); composers also
 // receive the occurrences.
 func (e *Engine) ArmTemporal(spec event.TemporalSpec) (*TemporalHandle, error) {
-	h := &TemporalHandle{}
+	h := e.newTemporalHandle()
 	now := e.clk.Now()
 	switch spec.Temporal {
 	case event.Absolute:
@@ -89,7 +96,7 @@ func (e *Engine) ArmMilestone(t *txn.Txn, spec event.TemporalSpec) (*TemporalHan
 	if spec.Delay <= 0 {
 		return nil, fmt.Errorf("eca: milestone %q needs a positive delay", spec.Name)
 	}
-	h := &TemporalHandle{}
+	h := e.newTemporalHandle()
 	h.setTimer(e.clk.AfterFunc(spec.Delay, func() {
 		if t.Status() == txn.Active {
 			// The milestone was not reached in time: the probability of
@@ -98,6 +105,38 @@ func (e *Engine) ArmMilestone(t *txn.Txn, spec event.TemporalSpec) (*TemporalHan
 		}
 	}))
 	return h, nil
+}
+
+// newTemporalHandle creates a handle registered for shutdown: Close
+// stops every armed handle that was not stopped by its owner.
+func (e *Engine) newTemporalHandle() *TemporalHandle {
+	h := &TemporalHandle{e: e}
+	e.tempMu.Lock()
+	e.temporals[h] = struct{}{}
+	e.tempMu.Unlock()
+	return h
+}
+
+// dropTemporal deregisters a stopped handle so milestone-per-txn
+// usage does not grow the registry without bound.
+func (e *Engine) dropTemporal(h *TemporalHandle) {
+	e.tempMu.Lock()
+	delete(e.temporals, h)
+	e.tempMu.Unlock()
+}
+
+// stopTemporals disarms every registered handle. Handles are
+// collected first: Stop deregisters, which takes tempMu.
+func (e *Engine) stopTemporals() {
+	e.tempMu.Lock()
+	hs := make([]*TemporalHandle, 0, len(e.temporals))
+	for h := range e.temporals {
+		hs = append(hs, h)
+	}
+	e.tempMu.Unlock()
+	for _, h := range hs {
+		h.Stop()
+	}
 }
 
 // emitTemporal injects a temporal occurrence into the engine. The

@@ -78,6 +78,7 @@ func Suite() []*Analyzer {
 		RawAtomics,
 		CouplingTable,
 		ErrSink,
+		NakedGo,
 	}
 }
 

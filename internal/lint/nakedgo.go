@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NakedGo enforces the supervised-execution guard in the engine's
+// concurrency-bearing packages: a bare `go func(){...}()` there is a
+// goroutine nobody waits for, drains, or recovers — exactly the shape
+// the supervised executor exists to eliminate. Rule work must go
+// through the executor; ad-hoc fan-out must register with a
+// sync.WaitGroup (a deferred .Done() in the literal body) so Close
+// and Drain can observe it. Named-method goroutines (`go x.worker()`)
+// are allowed: they belong to a struct whose lifecycle owns them.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "unsupervised `go func` literals in internal/eca, internal/event (use the executor or a WaitGroup)",
+	Run:  runNakedGo,
+}
+
+func runNakedGo(p *Pass) {
+	if !p.InPackage("internal/eca", "internal/event") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // go x.method(): lifecycle owned by x
+			}
+			if deferredDone(lit.Body) {
+				return true
+			}
+			p.Reportf(g.Pos(),
+				"naked `go func` literal: route rule work through the supervised executor or register with a sync.WaitGroup (defer wg.Done())")
+			return true
+		})
+	}
+}
+
+// deferredDone reports whether the function body defers a .Done()
+// call — the syntactic signature of WaitGroup-registered work. The
+// check is deliberately shallow: a Done deferred inside a nested
+// literal does not cover the outer goroutine.
+func deferredDone(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,10 @@
 // Package eca is a fixture mirror of the engine's rule types, just
-// enough for the couplingtable analyzer to resolve Rule literals.
+// enough for the couplingtable analyzer to resolve Rule literals and
+// for the nakedgo analyzer to see goroutine launches in its home
+// package.
 package eca
+
+import "sync"
 
 type Coupling int
 
@@ -18,4 +22,32 @@ type Rule struct {
 	EventKey   string
 	CondMode   Coupling
 	ActionMode Coupling
+}
+
+type engine struct{}
+
+func (e *engine) worker() {}
+
+// fanOut exercises the nakedgo analyzer: one WaitGroup-registered
+// literal (allowed), one method goroutine (allowed), one naked
+// literal (flagged).
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range work {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+
+	e := &engine{}
+	go e.worker()
+
+	go func() {
+		for _, fn := range work {
+			fn()
+		}
+	}()
 }

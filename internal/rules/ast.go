@@ -22,6 +22,13 @@ type RuleDecl struct {
 	Policy   string        // recent | chronicle | continuous | cumulative
 	Scope    string        // transaction | global
 	Validity time.Duration // required for global scope
+
+	// Supervised-executor attributes (detached-coupled rules only).
+	Timeout    time.Duration // per-attempt deadline; 0 = engine default
+	Retry      int           // retry budget; meaningful when RetrySet
+	RetrySet   bool
+	Breaker    int // circuit-breaker threshold; meaningful when BreakerSet
+	BreakerSet bool
 }
 
 // VarDecl binds a name in the rule's scope. Object declarations carry

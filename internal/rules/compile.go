@@ -109,6 +109,21 @@ func Compile(e *eca.Engine, d *RuleDecl) (*eca.Rule, []*algebra.Composite, []eve
 	if r.ActionMode == 0 {
 		r.ActionMode = eca.Detached
 	}
+	// Supervised-executor attributes: 0 in the language means
+	// "disabled", which the engine spells as a negative override.
+	r.Timeout = d.Timeout
+	if d.RetrySet {
+		r.Retries = d.Retry
+		if d.Retry <= 0 {
+			r.Retries = -1
+		}
+	}
+	if d.BreakerSet {
+		r.Breaker = d.Breaker
+		if d.Breaker <= 0 {
+			r.Breaker = -1
+		}
+	}
 	if d.Cond != nil {
 		cond := d.Cond
 		decl := d

@@ -169,6 +169,23 @@ func (p *parser) clause(r *RuleDecl) error {
 			return p.errf("validity needs a duration (e.g. 10s)")
 		}
 		r.Validity = p.next().dval
+	case "timeout":
+		if !p.at(tokDuration) {
+			return p.errf("timeout needs a duration (e.g. 500ms)")
+		}
+		r.Timeout = p.next().dval
+	case "retry":
+		if !p.at(tokInt) {
+			return p.errf("retry needs an integer attempt budget (0 disables)")
+		}
+		r.Retry = int(p.next().ival)
+		r.RetrySet = true
+	case "breaker":
+		if !p.at(tokInt) {
+			return p.errf("breaker needs an integer failure threshold (0 disables)")
+		}
+		r.Breaker = int(p.next().ival)
+		r.BreakerSet = true
 	default:
 		return p.errf("unknown clause %q", kw)
 	}

@@ -80,7 +80,35 @@ func (rv *ruleVet) run(v *Vetter) {
 
 	rv.checkCompositeAttrs()
 	rv.checkCoupling()
+	rv.checkRobustness()
 	rv.checkVars()
+}
+
+// checkRobustness verifies the supervised-executor clauses appear
+// only on detached-coupled rules: immediate and deferred rules run
+// inside the triggering transaction, where the executor's deadline,
+// retry, and breaker machinery does not apply.
+func (rv *ruleVet) checkRobustness() {
+	d := rv.decl
+	action := parseMode(d.ActionMode)
+	if action == 0 {
+		action = eca.Detached
+	}
+	if couplingOrd(action) >= 2 {
+		return
+	}
+	for _, c := range []struct {
+		name string
+		set  bool
+	}{
+		{"timeout", d.Timeout != 0},
+		{"retry", d.RetrySet},
+		{"breaker", d.BreakerSet},
+	} {
+		if c.set {
+			rv.errf("%s clause applies only to detached-coupled rules (%v rules run inside the triggering transaction)", c.name, action)
+		}
+	}
 }
 
 // isComposite reports whether the event clause is an algebra

@@ -175,7 +175,7 @@ func (lt *lockTable) releaseAll(t *Txn) {
 			if ls.queue[i].t == t {
 				w := ls.queue[i]
 				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-				w.grant <- ErrNotActive //lint:allow lockdiscipline grant channels are buffered (cap 1); the send cannot block
+				w.grant <- ErrWaitCancelled //lint:allow lockdiscipline grant channels are buffered (cap 1); the send cannot block
 			} else {
 				i++
 			}
@@ -233,7 +233,7 @@ func (lt *lockTable) wakeLocked(ls *lockState, res uint64) {
 		if w.t.Status() != Active {
 			ls.queue = ls.queue[1:]
 			delete(lt.waitsFor, w.t)
-			w.grant <- ErrNotActive
+			w.grant <- ErrWaitCancelled
 			continue
 		}
 		if !ls.compatible(w.t, w.mode) {

@@ -1,0 +1,74 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestIsRetriable pins the transient-failure classification the
+// supervised rule executor consults before retrying a rule attempt.
+func TestIsRetriable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrDeadlock, true},
+		{ErrWaitCancelled, true},
+		{fmt.Errorf("rule x: %w", ErrDeadlock), true},
+		{fmt.Errorf("rule x: %w", ErrWaitCancelled), true},
+		{ErrNotActive, false},
+		{ErrDependencyFailed, false},
+		{errors.New("permanent"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsRetriable(c.err); got != c.want {
+			t.Errorf("IsRetriable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestWaitCancelledWrapsNotActive keeps the backward-compatible error
+// chain: code that checked errors.Is(err, ErrNotActive) before the
+// typed cancellation error existed must keep matching.
+func TestWaitCancelledWrapsNotActive(t *testing.T) {
+	if !errors.Is(ErrWaitCancelled, ErrNotActive) {
+		t.Fatal("ErrWaitCancelled does not wrap ErrNotActive")
+	}
+}
+
+// TestCancelledLockWaitIsRetriable resolves a transaction while it is
+// parked in a lock wait and verifies the waiter comes back with the
+// typed, retriable cancellation error.
+func TestCancelledLockWaitIsRetriable(t *testing.T) {
+	m := NewManager()
+	holder := m.Begin()
+	if err := holder.Lock(1, LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	waiter := m.Begin()
+	got := make(chan error, 1)
+	go func() { got <- waiter.Lock(1, LockExclusive) }()
+
+	// Let the waiter park, then resolve it out from under the wait.
+	time.Sleep(10 * time.Millisecond)
+	if err := waiter.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrWaitCancelled) {
+			t.Fatalf("cancelled wait returned %v, want ErrWaitCancelled", err)
+		}
+		if !IsRetriable(err) {
+			t.Fatalf("cancelled wait %v not classified retriable", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter never woke")
+	}
+	if err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

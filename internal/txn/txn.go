@@ -49,7 +49,22 @@ var (
 	ErrChildrenActive   = errors.New("txn: subtransactions still active")
 	ErrDeadlock         = errors.New("txn: deadlock detected")
 	ErrDependencyFailed = errors.New("txn: commit dependency not satisfied")
+	// ErrWaitCancelled fails a pending lock request whose transaction
+	// was resolved by another goroutine while it waited. It wraps
+	// ErrNotActive so existing errors.Is checks keep matching.
+	ErrWaitCancelled = fmt.Errorf("txn: lock wait cancelled: %w", ErrNotActive)
 )
+
+// IsRetriable reports whether err is a transient scheduling failure a
+// fresh transaction attempt may not hit again: a detected deadlock
+// (this transaction was chosen to break the cycle) or a cancelled
+// lock wait. Permanent failures — constraint violations, dependency
+// outcomes, storage errors — are not retriable. The rule executor
+// consults this to decide between backoff-retry and the circuit
+// breaker.
+func IsRetriable(err error) bool {
+	return errors.Is(err, ErrDeadlock) || errors.Is(err, ErrWaitCancelled)
+}
 
 // Listener observes transaction lifecycle events. The rule engine
 // registers one to raise flow-control events and to run deferred

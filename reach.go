@@ -62,6 +62,10 @@ type (
 // Options configure Open.
 type Options = core.Options
 
+// EngineOptions tune the rule engine (Options.Engine), including the
+// supervised executor for detached rule work.
+type EngineOptions = eca.Options
+
 // Open assembles a REACH system.
 func Open(opts Options) (*System, error) { return core.Open(opts) }
 
@@ -108,7 +112,41 @@ type (
 	Coupling = eca.Coupling
 	// LoadedRules tracks a rule set loaded from the rule language.
 	LoadedRules = rules.Loaded
+	// OverloadPolicy selects what a full executor queue does to new
+	// detached rule work (block or shed).
+	OverloadPolicy = eca.OverloadPolicy
+	// DeadLetter is one detached rule firing the executor gave up on.
+	DeadLetter = eca.DeadLetter
+	// BreakerState is a snapshot of one rule's circuit breaker.
+	BreakerState = eca.BreakerState
 )
+
+// Supervised-executor overload policies.
+const (
+	OverloadBlock = eca.OverloadBlock
+	OverloadShed  = eca.OverloadShed
+)
+
+// Supervised-executor errors.
+var (
+	// ErrOverload rejects a detached spawn when the queue is full
+	// under the shed policy.
+	ErrOverload = eca.ErrOverload
+	// ErrDraining rejects detached spawns after Drain or Close began.
+	ErrDraining = eca.ErrDraining
+	// ErrRuleDeadline aborts a rule attempt that exceeded its deadline.
+	ErrRuleDeadline = eca.ErrRuleDeadline
+	// ErrBreakerOpen rejects a spawn whose rule's breaker is open.
+	ErrBreakerOpen = eca.ErrBreakerOpen
+	// ErrDeadlock is the transaction manager's deadlock-victim error;
+	// the executor treats it as retriable (see IsRetriable).
+	ErrDeadlock = txn.ErrDeadlock
+)
+
+// IsRetriable reports whether a transaction error is a transient
+// scheduling failure (deadlock victim, cancelled lock wait) that a
+// fresh attempt may not hit again.
+func IsRetriable(err error) bool { return txn.IsRetriable(err) }
 
 // The six REACH coupling modes (paper §3.2).
 const (
