@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test race vet lint crash stress all
+# BENCH is the committed perf-trajectory baseline; bump the suffix when
+# a PR intentionally changes the performance envelope.
+BENCH ?= BENCH_6.json
+BENCH_N ?= 2000
+BENCH_TOLERANCE ?= 1.0
+
+.PHONY: build test race vet lint crash stress bench bench-diff all
 
 all: build vet test
 
@@ -22,6 +28,17 @@ vet:
 lint:
 	$(GO) run ./cmd/reachvet
 	$(GO) run ./cmd/rulec -vet examples/*/rules/*.rules
+
+# bench regenerates the perf-trajectory baseline in place. bench-diff
+# re-measures into a scratch file and compares it against the committed
+# baseline, failing on ns/op regressions beyond BENCH_TOLERANCE (the CI
+# default is generous — shared runners are noisy; tighten locally).
+bench:
+	$(GO) run ./cmd/reachbench -n $(BENCH_N) -json $(BENCH) > /dev/null
+
+bench-diff:
+	$(GO) run ./cmd/reachbench -n $(BENCH_N) -json /tmp/bench-current.json > /dev/null
+	$(GO) run ./cmd/reachbench -diff -tolerance $(BENCH_TOLERANCE) $(BENCH) /tmp/bench-current.json
 
 # crash runs the crash-consistency matrix (every workload crashed at
 # every write/fsync boundary, clean and WAL-torn, with second crashes

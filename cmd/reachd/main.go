@@ -16,7 +16,7 @@
 //	query select r from River r where r.level < 37
 //	index River level
 //	get Rhine level | set Rhine temp 26.5
-//	roots | classes | stats [metrics|trace <n>] | history | quit
+//	roots | classes | stats [metrics|trace <n>] | slowlog | history | quit
 package main
 
 import (
@@ -43,6 +43,8 @@ func main() {
 	ruleTimeout := flag.Duration("rule-timeout", 0, "default per-attempt deadline for detached rules (0 = none)")
 	ruleRetries := flag.Int("rule-retries", 0, "default retry budget for retriable rule aborts (0 = default 3, negative disables)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures before a rule's circuit breaker trips (0 = default 5, negative disables)")
+	slowThreshold := flag.Duration("slow-threshold", 250*time.Millisecond, "promote traces slower than this into the slow log (0 disables)")
+	slowCap := flag.Int("slow-log", 0, "slow-log capacity (0 = default 64)")
 	flag.Parse()
 
 	engineOpts := reach.EngineOptions{
@@ -51,6 +53,8 @@ func main() {
 		RuleTimeout:      *ruleTimeout,
 		RuleRetries:      *ruleRetries,
 		BreakerThreshold: *breakerThreshold,
+		SlowLogThreshold: *slowThreshold,
+		SlowLogCapacity:  *slowCap,
 	}
 	if *shed {
 		engineOpts.Overload = reach.OverloadShed
@@ -68,8 +72,9 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /failpoints /rules/deadletter /rules/breakers /debug/pprof)\n", addr)
+		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /slowlog /failpoints /rules/deadletter /rules/breakers /debug/pprof)\n", addr)
 	}
+	fmt.Printf("build: %s %s (%s)\n", sys.Build.Module, sys.Build.Version, sys.Build.GoVersion)
 	fmt.Println("REACH shell — an integrated active OODBMS. Type 'help'.")
 	repl(sys, os.Stdin, os.Stdout)
 }
@@ -179,6 +184,8 @@ func repl(sys *reach.System, in io.Reader, out io.Writer) {
 			}
 		case "stats":
 			statsCmd(sys, out, args)
+		case "slowlog":
+			slowLogCmd(sys, out, args)
 		case "deadletter":
 			deadLetterCmd(sys, out, args)
 		case "breakers":
@@ -255,6 +262,45 @@ func drainCmd(sys *reach.System, args []string) error {
 	return sys.Drain(ctx)
 }
 
+// slowLogCmd lists, clears, or re-thresholds the slow-transaction log.
+func slowLogCmd(sys *reach.System, out io.Writer, args []string) {
+	sl := sys.Engine.SlowLog()
+	switch {
+	case len(args) == 1 && args[0] == "clear":
+		fmt.Fprintf(out, "cleared %d slow-log entries\n", sl.Clear())
+		return
+	case len(args) == 2 && args[0] == "threshold":
+		d, err := time.ParseDuration(args[1])
+		if err != nil {
+			fmt.Fprintln(out, "usage: slowlog threshold <duration>")
+			return
+		}
+		sl.SetThreshold(d)
+		fmt.Fprintf(out, "slow-log threshold set to %v\n", d)
+		return
+	case len(args) != 0:
+		fmt.Fprintln(out, "usage: slowlog [clear | threshold <duration>]")
+		return
+	}
+	fmt.Fprintf(out, "  threshold=%v entries=%d\n", sl.Threshold(), sl.Len())
+	for _, e := range sl.Snapshot() {
+		total := time.Duration(e.TotalNS)
+		covered := time.Duration(e.CoveredNS)
+		pct := 0.0
+		if e.TotalNS > 0 {
+			pct = 100 * float64(e.CoveredNS) / float64(e.TotalNS)
+		}
+		fmt.Fprintf(out, "  trace %d root=%s total=%v attributed=%v (%.0f%%)\n",
+			e.Trace.ID, e.Trace.Root, total, covered, pct)
+		for stage, ns := range e.AttributedNS {
+			fmt.Fprintf(out, "    %-18s %v\n", stage, time.Duration(ns))
+		}
+	}
+	if sl.Len() == 0 {
+		fmt.Fprintln(out, "  (no slow traces)")
+	}
+}
+
 // statsCmd prints the summary counters, the full Prometheus exposition
 // ("stats metrics"), or recent lifecycle traces ("stats trace <n>").
 func statsCmd(sys *reach.System, out io.Writer, args []string) {
@@ -315,6 +361,7 @@ func help(out io.Writer) {
   stats                         engine / sentry / storage counters
   stats metrics                 full metric registry (Prometheus text)
   stats trace <n>               last n event-lifecycle traces
+  slowlog [clear | threshold <dur>]   slow-transaction log with latency attribution
   deadletter [clear]            inspect / empty the rule dead-letter queue
   breakers                      per-rule circuit breaker states
   rearm <rule>                  close a tripped rule's circuit breaker

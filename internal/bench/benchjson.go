@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// SchemaVersion is the BENCH_*.json schema version. Bump it when the
+// file shape changes incompatibly; Read rejects files from a newer
+// schema rather than mis-reading them.
+const SchemaVersion = 1
+
+// Meta is the run metadata recorded alongside the results so a
+// baseline can be judged for comparability before diffing against it.
+type Meta struct {
+	GoVersion       string `json:"go_version"`
+	GOOS            string `json:"goos"`
+	GOARCH          string `json:"goarch"`
+	NumCPU          int    `json:"num_cpu"`
+	EventsPerConfig int    `json:"events_per_config"`
+	Timestamp       string `json:"timestamp"`
+}
+
+// NewMeta captures the current run environment. eventsPerConfig is the
+// -n the experiments ran with.
+func NewMeta(eventsPerConfig int) Meta {
+	return Meta{
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		NumCPU:          runtime.NumCPU(),
+		EventsPerConfig: eventsPerConfig,
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// File is the versioned on-disk perf-trajectory record: one
+// BENCH_<n>.json per PR, diffable against its predecessor.
+type File struct {
+	Schema  int   `json:"schema"`
+	Meta    Meta  `json:"meta"`
+	Results []Row `json:"results"`
+}
+
+// WriteJSON writes f to path, stamping the schema version.
+func WriteJSON(path string, f *File) error {
+	f.Schema = SchemaVersion
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadJSON reads a perf-trajectory file, rejecting unknown schemas.
+func ReadJSON(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if f.Schema < 1 || f.Schema > SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema %d not supported (this build reads <= %d)",
+			path, f.Schema, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Regression is one (experiment, config) pair that got slower than the
+// baseline allows, or that vanished from the new results.
+type Regression struct {
+	Experiment string
+	Config     string
+	OldNsPerOp float64
+	NewNsPerOp float64
+	// Ratio is new/old; 1.30 means 30% slower.
+	Ratio float64
+	// Missing marks a baseline row absent from the new results.
+	Missing bool
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s / %s: present in baseline, missing from new results",
+			r.Experiment, r.Config)
+	}
+	return fmt.Sprintf("%s / %s: %.0f -> %.0f ns/op (%.2fx)",
+		r.Experiment, r.Config, r.OldNsPerOp, r.NewNsPerOp, r.Ratio)
+}
+
+// Diff compares cur against the old baseline and returns the rows
+// whose ns/op regressed beyond tolerance (0.25 allows 25% slowdown),
+// plus baseline rows missing from cur. Rows are matched by
+// (experiment, config); baseline rows without a timing (NsPerOp 0,
+// e.g. count-only results) are not gated. New rows absent from the
+// baseline are ignored — they have nothing to regress against.
+func Diff(old, cur *File, tolerance float64) []Regression {
+	type key struct{ exp, cfg string }
+	curRows := make(map[key]Row, len(cur.Results))
+	for _, r := range cur.Results {
+		curRows[key{r.Experiment, r.Config}] = r
+	}
+	var regs []Regression
+	for _, o := range old.Results {
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		n, ok := curRows[key{o.Experiment, o.Config}]
+		if !ok {
+			regs = append(regs, Regression{
+				Experiment: o.Experiment, Config: o.Config,
+				OldNsPerOp: o.NsPerOp, Missing: true,
+			})
+			continue
+		}
+		if n.NsPerOp > o.NsPerOp*(1+tolerance) {
+			regs = append(regs, Regression{
+				Experiment: o.Experiment, Config: o.Config,
+				OldNsPerOp: o.NsPerOp, NewNsPerOp: n.NsPerOp,
+				Ratio: n.NsPerOp / o.NsPerOp,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Experiment != regs[j].Experiment {
+			return regs[i].Experiment < regs[j].Experiment
+		}
+		return regs[i].Config < regs[j].Config
+	})
+	return regs
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFile() *File {
+	return &File{
+		Meta: NewMeta(5000),
+		Results: []Row{
+			{Experiment: "E1-sentry", Config: "unmonitored", Ops: 5000,
+				NsPerOp: 120, AllocsPerOp: 2, BytesPerOp: 64},
+			{Experiment: "E1-sentry", Config: "useful (rule fires)", Ops: 5000,
+				NsPerOp: 900, AllocsPerOp: 12, BytesPerOp: 512, Extra: "useless-hits=0"},
+			{Experiment: "E7-lifespan", Config: "global, after validity GC", Ops: 50},
+		},
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	f := sampleFile()
+	if err := WriteJSON(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", got.Schema, SchemaVersion)
+	}
+	if got.Meta != f.Meta {
+		t.Fatalf("meta round-trip: got %+v, want %+v", got.Meta, f.Meta)
+	}
+	if len(got.Results) != len(f.Results) {
+		t.Fatalf("results len = %d, want %d", len(got.Results), len(f.Results))
+	}
+	for i := range got.Results {
+		if got.Results[i] != f.Results[i] {
+			t.Fatalf("row %d: got %+v, want %+v", i, got.Results[i], f.Results[i])
+		}
+	}
+}
+
+func TestBenchJSONRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 999, "results": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+func TestDiffSelfIsClean(t *testing.T) {
+	f := sampleFile()
+	if regs := Diff(f, f, 0); len(regs) != 0 {
+		t.Fatalf("self-diff found regressions: %v", regs)
+	}
+}
+
+func TestDiffToleranceAndRegression(t *testing.T) {
+	old := sampleFile()
+	cur := sampleFile()
+
+	// 20% slower passes a 25% tolerance and fails a 10% one.
+	cur.Results[0].NsPerOp = old.Results[0].NsPerOp * 1.2
+	if regs := Diff(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("within tolerance yet flagged: %v", regs)
+	}
+	regs := Diff(old, cur, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("want 1 regression, got %v", regs)
+	}
+	r := regs[0]
+	if r.Experiment != "E1-sentry" || r.Config != "unmonitored" || r.Missing {
+		t.Fatalf("wrong regression: %+v", r)
+	}
+	if r.Ratio < 1.19 || r.Ratio > 1.21 {
+		t.Fatalf("ratio = %v, want ~1.2", r.Ratio)
+	}
+	if !strings.Contains(r.String(), "E1-sentry / unmonitored") {
+		t.Fatalf("String() = %q", r.String())
+	}
+
+	// Improvements never flag.
+	cur.Results[0].NsPerOp = old.Results[0].NsPerOp / 2
+	if regs := Diff(old, cur, 0); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestDiffMissingRow(t *testing.T) {
+	old := sampleFile()
+	cur := sampleFile()
+	cur.Results = cur.Results[1:] // drop the first timed row
+	regs := Diff(old, cur, 0.25)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("want one missing-row regression, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Fatalf("String() = %q", regs[0].String())
+	}
+}
+
+func TestDiffSkipsUntimedRows(t *testing.T) {
+	// Count-only rows (NsPerOp 0, like E7's GC row) are not gated even
+	// when missing from the new results.
+	old := sampleFile()
+	cur := sampleFile()
+	cur.Results = cur.Results[:2] // drop the untimed E7 row
+	if regs := Diff(old, cur, 0); len(regs) != 0 {
+		t.Fatalf("untimed row gated: %v", regs)
+	}
+}
+
+func TestDiffIgnoresNewRows(t *testing.T) {
+	old := sampleFile()
+	cur := sampleFile()
+	cur.Results = append(cur.Results, Row{Experiment: "E99", Config: "new", NsPerOp: 1e9})
+	if regs := Diff(old, cur, 0); len(regs) != 0 {
+		t.Fatalf("new row flagged: %v", regs)
+	}
+}
+
+func TestMeasureRecordsAllocs(t *testing.T) {
+	row := measure("alloc-test", "cfg", 100, func() {
+		sink := make([][]byte, 100)
+		for i := range sink {
+			sink[i] = make([]byte, 1024)
+		}
+		_ = sink
+	})
+	if row.AllocsPerOp < 1 {
+		t.Fatalf("AllocsPerOp = %v, want >= 1", row.AllocsPerOp)
+	}
+	if row.BytesPerOp < 1024 {
+		t.Fatalf("BytesPerOp = %v, want >= 1024", row.BytesPerOp)
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -15,24 +16,32 @@ import (
 	"repro/internal/storage"
 )
 
-// Row is one measured configuration of one experiment.
+// Row is one measured configuration of one experiment. The JSON tags
+// are the BENCH_*.json perf-trajectory schema (see benchjson.go).
 type Row struct {
-	Experiment string
-	Config     string
-	Ops        int
-	NsPerOp    float64
-	Extra      string
+	Experiment  string  `json:"experiment"`
+	Config      string  `json:"config"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Extra       string  `json:"extra,omitempty"`
 }
 
 func measure(experiment, config string, ops int, fn func()) Row {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	fn()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
 	return Row{
-		Experiment: experiment,
-		Config:     config,
-		Ops:        ops,
-		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(ops),
+		Experiment:  experiment,
+		Config:      config,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
 	}
 }
 

@@ -40,6 +40,9 @@ type System struct {
 	Metrics *obs.Registry
 	// Tracer retains recent event-lifecycle traces.
 	Tracer *obs.Tracer
+	// Build identifies the running binary (also exposed as the
+	// reach_build_info gauge).
+	Build obs.BuildInfo
 }
 
 // Open assembles and returns a System.
@@ -48,6 +51,7 @@ func Open(opts Options) (*System, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	build := obs.RegisterBuildInfo(reg)
 	fault.Instrument(reg)
 	dbOpts := opts.DB
 	if opts.Dir != "" {
@@ -70,6 +74,7 @@ func Open(opts Options) (*System, error) {
 		Query:   query.New(db, engine),
 		Metrics: reg,
 		Tracer:  engine.Tracer(),
+		Build:   build,
 	}, nil
 }
 
@@ -93,6 +98,7 @@ func (s *System) Admin() *obs.Admin {
 	a.Handle("/failpoints", fault.Handler())
 	a.Handle("/rules/deadletter", deadLetterHandler(s.Engine))
 	a.Handle("/rules/breakers", breakerHandler(s.Engine))
+	a.Handle("/slowlog", s.Engine.SlowLog().Handler())
 	return a
 }
 

@@ -105,6 +105,7 @@ func (e *Engine) runDeferredBatch(top *txn.Txn, batch []deferredEntry) error {
 	run := func(entry deferredEntry) error {
 		// The queue-wait span: enqueue (during the transaction) to
 		// dequeue (EOT processing).
+		e.met.deferredDwell.Observe(e.clk.Now().Sub(entry.at))
 		e.span(entry.in.Trace, "enqueue-deferred", entry.rule.Name, entry.at)
 		child, err := top.BeginChild()
 		if err != nil {
@@ -148,9 +149,11 @@ func (e *Engine) runActionOnly(t *txn.Txn, r *Rule, in *event.Instance) (err err
 			err = e.recoverRulePanic(t, r, in, p)
 		}
 	}()
+	t.SetTrace(in.Trace)
 	rc := &RuleCtx{Engine: e, DB: e.db, Txn: t, Trigger: in, Context: context.Background()}
 	as := e.clk.Now()
 	aerr := r.Action(rc)
+	e.met.phaseAction.Observe(e.clk.Now().Sub(as))
 	e.span(in.Trace, "action-exec", r.Name, as)
 	if aerr != nil {
 		e.abortRuleTxn(t, r, in, aerr)

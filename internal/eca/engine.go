@@ -113,6 +113,13 @@ type Options struct {
 	Tracer *obs.Tracer
 	// TraceCapacity bounds the private tracer's ring (default 256).
 	TraceCapacity int
+	// SlowLogThreshold promotes traces whose end-to-end duration
+	// crosses it out of the tracer's eviction ring into the slow log.
+	// 0 disables promotion (it can be enabled later via the /slowlog
+	// surface or the REPL).
+	SlowLogThreshold time.Duration
+	// SlowLogCapacity bounds the slow log (default 64).
+	SlowLogCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -183,6 +190,14 @@ type engineMetrics struct {
 	latDeferred    *obs.Histogram
 	latDetached    *obs.Histogram
 
+	// Latency attribution: rule execution broken into its phases, and
+	// how long deferred work sat queued before its EOT round.
+	phaseCond     *obs.Histogram
+	phaseAction   *obs.Histogram
+	phaseCommit   *obs.Histogram
+	phaseAbort    *obs.Histogram
+	deferredDwell *obs.Histogram
+
 	// supervised-executor series.
 	retries       *obs.Counter
 	panics        *obs.Counter
@@ -205,6 +220,8 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	const latHelp = "Rule execution latency (condition + action + commit), by coupling mode."
 	const rejected = "reach_rule_rejected_total"
 	const rejectedHelp = "Detached rule firings refused by the executor, by reason."
+	const phase = "reach_rule_phase_seconds"
+	const phaseHelp = "Rule transaction time by phase (condition, action, commit, abort)."
 	return engineMetrics{
 		events: reg.Counter("reach_events_total", "Event instances consumed by the engine."),
 		composites: reg.Counter("reach_composites_detected_total",
@@ -227,6 +244,12 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		latImmediate:   reg.Histogram(lat, latHelp, "mode", "immediate"),
 		latDeferred:    reg.Histogram(lat, latHelp, "mode", "deferred"),
 		latDetached:    reg.Histogram(lat, latHelp, "mode", "detached"),
+		phaseCond:      reg.Histogram(phase, phaseHelp, "phase", "condition"),
+		phaseAction:    reg.Histogram(phase, phaseHelp, "phase", "action"),
+		phaseCommit:    reg.Histogram(phase, phaseHelp, "phase", "commit"),
+		phaseAbort:     reg.Histogram(phase, phaseHelp, "phase", "abort"),
+		deferredDwell: reg.Histogram("reach_deferred_dwell_seconds",
+			"Time a deferred firing sat queued between detection and its EOT round."),
 		retries: reg.Counter("reach_rule_retries_total",
 			"Detached rule attempts retried after a retriable abort."),
 		panics: reg.Counter("reach_rule_panics_total",
@@ -279,9 +302,10 @@ type Engine struct {
 	tempMu    sync.Mutex
 	temporals map[*TemporalHandle]struct{}
 
-	reg    *obs.Registry
-	tracer *obs.Tracer
-	met    engineMetrics
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	slowLog *obs.SlowLog
+	met     engineMetrics
 }
 
 // New creates an engine over db, wires it as the database's event
@@ -311,10 +335,14 @@ func New(db *oodb.DB, opts Options) *Engine {
 		tracer:       tracer,
 		met:          newEngineMetrics(reg),
 	}
+	e.slowLog = obs.NewSlowLog(opts.SlowLogCapacity, opts.SlowLogThreshold)
+	e.slowLog.Instrument(reg)
+	tracer.SetSlowLog(e.slowLog)
 	e.exec = newExecutor(e)
 	e.disp = sentry.New(sentry.ConsumerFunc(e.Consume))
 	e.disp.Instrument(reg, tracer, e.clk.Now)
 	db.TxnManager().Instrument(reg)
+	db.TxnManager().SetTracer(tracer)
 	db.SetSink(e.disp)
 	db.TxnManager().SetListener((*txnListener)(e))
 	return e
@@ -326,6 +354,9 @@ func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // Tracer exposes the engine's event-lifecycle tracer.
 func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// SlowLog exposes the slow-transaction log attached to the tracer.
+func (e *Engine) SlowLog() *obs.SlowLog { return e.slowLog }
 
 // span records one lifecycle stage on a trace; a zero trace ID is a
 // no-op so untraced paths stay free.
@@ -720,12 +751,16 @@ func (e *Engine) runRuleIn(t *txn.Txn, r *Rule, in *event.Instance) error {
 // executor threads its deadline cancellation through to the rule body
 // via RuleCtx.Context.
 func (e *Engine) runRuleCtx(ctx context.Context, t *txn.Txn, r *Rule, in *event.Instance) error {
+	// Tag the rule transaction with the triggering event's trace so the
+	// lock manager and commit path attribute their waits to it.
+	t.SetTrace(in.Trace)
 	rc := &RuleCtx{Engine: e, DB: e.db, Txn: t, Trigger: in, Context: ctx}
 	ok := true
 	var err error
 	if r.Cond != nil {
 		cs := e.clk.Now()
 		ok, err = r.Cond(rc)
+		e.met.phaseCond.Observe(e.clk.Now().Sub(cs))
 		e.span(in.Trace, "condition-eval", r.Name, cs)
 		if err != nil {
 			e.abortRuleTxn(t, r, in, err)
@@ -746,6 +781,7 @@ func (e *Engine) runRuleCtx(ctx context.Context, t *txn.Txn, r *Rule, in *event.
 	}
 	as := e.clk.Now()
 	err = r.Action(rc)
+	e.met.phaseAction.Observe(e.clk.Now().Sub(as))
 	e.span(in.Trace, "action-exec", r.Name, as)
 	if err != nil {
 		e.abortRuleTxn(t, r, in, err)
@@ -759,6 +795,7 @@ func (e *Engine) runRuleCtx(ctx context.Context, t *txn.Txn, r *Rule, in *event.
 func (e *Engine) commitRuleTxn(t *txn.Txn, r *Rule, in *event.Instance) error {
 	start := e.clk.Now()
 	err := t.Commit()
+	e.met.phaseCommit.Observe(e.clk.Now().Sub(start))
 	e.span(in.Trace, "commit", r.Name, start)
 	return err
 }
@@ -768,5 +805,6 @@ func (e *Engine) commitRuleTxn(t *txn.Txn, r *Rule, in *event.Instance) error {
 func (e *Engine) abortRuleTxn(t *txn.Txn, r *Rule, in *event.Instance, cause error) {
 	start := e.clk.Now()
 	_ = t.AbortWith(cause) // cause is already the reported failure
+	e.met.phaseAbort.Observe(e.clk.Now().Sub(start))
 	e.span(in.Trace, "abort", r.Name, start)
 }

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the Go toolchain that
+// built it, the main module path, and its version (VCS builds report
+// "(devel)").
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+}
+
+// ReadBuild reports the binary's build metadata.
+func ReadBuild() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version(), Module: "unknown", Version: "unknown"}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Path != "" {
+			bi.Module = info.Main.Path
+		}
+		if info.Main.Version != "" {
+			bi.Version = info.Main.Version
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo publishes the binary's build metadata as the
+// constant-1 gauge reach_build_info{goversion,module,version} — the
+// Prometheus idiom for exposing labels rather than a value — and
+// returns the metadata for banners and logs.
+func RegisterBuildInfo(reg *Registry) BuildInfo {
+	bi := ReadBuild()
+	reg.Gauge("reach_build_info",
+		"Build metadata of the running binary (value is always 1).",
+		"goversion", bi.GoVersion, "module", bi.Module, "version", bi.Version).Set(1)
+	return bi
+}

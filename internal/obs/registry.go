@@ -268,6 +268,7 @@ type SeriesSnapshot struct {
 	SumNS uint64  `json:"sum_ns,omitempty"`
 	P50NS float64 `json:"p50_ns,omitempty"`
 	P90NS float64 `json:"p90_ns,omitempty"`
+	P95NS float64 `json:"p95_ns,omitempty"`
 	P99NS float64 `json:"p99_ns,omitempty"`
 }
 
@@ -301,6 +302,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 				ss.SumNS = snap.Sum
 				ss.P50NS = snap.Quantile(0.50)
 				ss.P90NS = snap.Quantile(0.90)
+				ss.P95NS = snap.Quantile(0.95)
 				ss.P99NS = snap.Quantile(0.99)
 			}
 			fs.Series = append(fs.Series, ss)

@@ -45,6 +45,11 @@ type Tracer struct {
 	cap     uint64
 	stripes [traceStripes]sync.Mutex
 	slots   []*Trace
+
+	// slow, when set, receives traces whose end-to-end duration
+	// crosses the slow log's threshold. Stored atomically so SetSlowLog
+	// is safe even after the tracer has seen traffic.
+	slow atomic.Pointer[SlowLog]
 }
 
 // NewTracer returns a tracer retaining up to capacity traces
@@ -71,24 +76,61 @@ func (tr *Tracer) Begin(root string, now time.Time) uint64 {
 	return id
 }
 
+// SetSlowLog installs the slow log that receives traces whose
+// end-to-end duration crosses its threshold (nil detaches it).
+func (tr *Tracer) SetSlowLog(sl *SlowLog) { tr.slow.Store(sl) }
+
+// SlowLog returns the attached slow log, nil if none.
+func (tr *Tracer) SlowLog() *SlowLog { return tr.slow.Load() }
+
 // Span records one stage on trace id. Spans for traces already
-// evicted from the ring are dropped silently.
+// evicted from the ring are dropped silently. When the recorded span
+// pushes the trace's end-to-end duration past the attached slow log's
+// threshold, the trace is promoted out of the eviction ring into the
+// slow log.
 func (tr *Tracer) Span(id uint64, stage, key string, start time.Time, dur time.Duration) {
 	if id == 0 {
 		return
 	}
+	sl := tr.slow.Load()
 	slot := id % tr.cap
 	mu := tr.lock(slot)
 	mu.Lock()
 	t := tr.slots[slot]
+	var promoted Trace
+	var total time.Duration
 	if t != nil && t.ID == id {
 		if len(t.Spans) < maxSpansPerTrace {
 			t.Spans = append(t.Spans, Span{Stage: stage, Key: key, Start: start, Dur: dur})
 		} else {
 			t.Dropped++
 		}
+		if sl != nil {
+			if th := sl.Threshold(); th > 0 {
+				if end := traceEnd(t); end >= th {
+					promoted, total = t.copy(), end
+				}
+			}
+		}
 	}
 	mu.Unlock()
+	// The promotion itself runs outside the stripe lock: the slow log
+	// has its own mutex and must not nest inside ours.
+	if total > 0 {
+		sl.promote(promoted, total)
+	}
+}
+
+// traceEnd computes the end-to-end duration of a trace: its start to
+// the end of its last-finishing span.
+func traceEnd(t *Trace) time.Duration {
+	var end time.Duration
+	for _, sp := range t.Spans {
+		if d := sp.Start.Add(sp.Dur).Sub(t.Start); d > end {
+			end = d
+		}
+	}
+	return end
 }
 
 // Get returns a copy of trace id, if it is still in the ring.

@@ -28,6 +28,11 @@ type BufferPool struct {
 	// shared registry when the store is opened with Metrics.
 	hits   *obs.Counter
 	misses *obs.Counter
+
+	// evictions counts frames evicted; evictStall is the time a Pin
+	// or PinNew stalled writing a dirty victim back to the pager.
+	evictions  *obs.Counter
+	evictStall *obs.Histogram
 }
 
 type frame struct {
@@ -45,12 +50,14 @@ func NewBufferPool(pager *Pager, capacity int) *BufferPool {
 		capacity = 1
 	}
 	return &BufferPool{
-		pager:    pager,
-		capacity: capacity,
-		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
-		hits:     new(obs.Counter),
-		misses:   new(obs.Counter),
+		pager:      pager,
+		capacity:   capacity,
+		frames:     make(map[PageID]*frame),
+		lru:        list.New(),
+		hits:       new(obs.Counter),
+		misses:     new(obs.Counter),
+		evictions:  new(obs.Counter),
+		evictStall: new(obs.Histogram),
 	}
 }
 
@@ -60,6 +67,10 @@ func (bp *BufferPool) Instrument(reg *obs.Registry) {
 	const name, help = "reach_buffer_lookups_total", "Buffer-pool page lookups by result."
 	bp.hits = reg.Counter(name, help, "result", "hit")
 	bp.misses = reg.Counter(name, help, "result", "miss")
+	bp.evictions = reg.Counter("reach_buffer_evictions_total",
+		"Buffer-pool frames evicted to make room.")
+	bp.evictStall = reg.Histogram("reach_buffer_evict_stall_seconds",
+		"Time a page fetch stalled writing a dirty eviction victim back.")
 }
 
 // Stats reports cumulative hit and miss counts.
@@ -155,12 +166,16 @@ func (bp *BufferPool) evictLocked() error {
 			if fp := fault.Hit(fault.SiteBufferEvict); fp != nil {
 				return fmt.Errorf("storage: evict page %d: %w", id, fp.Err)
 			}
-			if err := bp.pager.Write(id, &fr.page); err != nil {
+			stop := bp.evictStall.Time()
+			err := bp.pager.Write(id, &fr.page)
+			stop()
+			if err != nil {
 				return err
 			}
 		}
 		bp.lru.Remove(e)
 		delete(bp.frames, id)
+		bp.evictions.Inc()
 		return nil
 	}
 	return nil // everything pinned or protected: grow

@@ -76,10 +76,14 @@ type WAL struct {
 	ioErr error
 
 	// syncs counts fsyncs so Stats can report the effect of group
-	// commit; appendDur is the append (serialize + buffer) latency.
-	// Both are standalone by default and rebound by Instrument.
+	// commit; appendDur is the append (serialize + buffer) latency;
+	// flushDur/fsyncDur split a Sync into its buffered-flush and
+	// stable-storage halves. All standalone by default and rebound by
+	// Instrument.
 	syncs     *obs.Counter
 	appendDur *obs.Histogram
+	flushDur  *obs.Histogram
+	fsyncDur  *obs.Histogram
 }
 
 // OpenWAL opens (creating if necessary) the log file at path on the
@@ -95,7 +99,13 @@ func OpenWALFS(fs fault.FS, path string) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
-	w := &WAL{f: f, path: path, nextLSN: 1, syncs: new(obs.Counter), appendDur: new(obs.Histogram)}
+	w := &WAL{
+		f: f, path: path, nextLSN: 1,
+		syncs:     new(obs.Counter),
+		appendDur: new(obs.Histogram),
+		flushDur:  new(obs.Histogram),
+		fsyncDur:  new(obs.Histogram),
+	}
 	// Scan to find the end of the valid prefix; truncate any torn tail.
 	validEnd := int64(0)
 	err = w.scan(func(rec LogRecord, end int64) {
@@ -125,6 +135,10 @@ func (w *WAL) Instrument(reg *obs.Registry) {
 	defer w.mu.Unlock()
 	w.syncs = reg.Counter("reach_wal_syncs_total", "WAL fsyncs issued.")
 	w.appendDur = reg.Histogram("reach_wal_append_seconds", "WAL record append latency.")
+	w.flushDur = reg.Histogram("reach_wal_flush_seconds",
+		"WAL buffered-writer flush latency during Sync.")
+	w.fsyncDur = reg.Histogram("reach_wal_fsync_seconds",
+		"WAL fsync (force to stable storage) latency during Sync.")
 }
 
 // Append writes rec to the log, assigning and returning its LSN. The
@@ -169,13 +183,19 @@ func (w *WAL) syncLocked() error {
 	if fp := fault.Hit(fault.SiteWALFlush); fp != nil {
 		return fmt.Errorf("storage: wal flush: %w", fp.Err)
 	}
-	if err := w.w.Flush(); err != nil {
+	stopFlush := w.flushDur.Time()
+	err := w.w.Flush()
+	stopFlush()
+	if err != nil {
 		return err
 	}
 	if fp := fault.Hit(fault.SiteWALSync); fp != nil {
 		return fmt.Errorf("storage: wal fsync: %w", fp.Err)
 	}
-	if err := w.f.Sync(); err != nil {
+	stopSync := w.fsyncDur.Time()
+	err = w.f.Sync()
+	stopSync()
+	if err != nil {
 		return err
 	}
 	w.syncs.Inc()

@@ -115,7 +115,13 @@ func (lt *lockTable) acquire(t *Txn, res uint64, mode LockMode) error {
 	ls.queue = append(ls.queue, w)
 	lt.mu.Unlock()
 
+	// Blocked: measure the wait and attribute it to the requester's
+	// trace. The granted-immediately fast path above records nothing.
+	start := t.m.clk.Now()
 	err := <-w.grant
+	wait := t.m.clk.Now().Sub(start)
+	t.m.observeLockWait(mode, wait)
+	t.m.span(t, "lock-wait", mode.String(), start, wait)
 	return err
 }
 

@@ -100,6 +100,16 @@ type Manager struct {
 	aborts  *obs.Counter
 	durs    *obs.Histogram
 
+	// Latency attribution: time blocked on lock grants (by requested
+	// mode) and time inside the durability callback at commit.
+	lockWaitS  *obs.Histogram
+	lockWaitX  *obs.Histogram
+	durableDur *obs.Histogram
+
+	// tracer, when set, receives lock-wait and wal-fsync spans for
+	// transactions tagged with a trace ID (SetTrace).
+	tracer *obs.Tracer
+
 	// clk stamps transaction begin times and measures lifetimes.
 	// Real by default; SetClock injects a virtual clock in tests.
 	clk clock.Clock
@@ -108,11 +118,14 @@ type Manager struct {
 // NewManager returns a transaction manager.
 func NewManager() *Manager {
 	m := &Manager{
-		nextID:  1,
-		commits: new(obs.Counter),
-		aborts:  new(obs.Counter),
-		durs:    new(obs.Histogram),
-		clk:     clock.NewReal(),
+		nextID:     1,
+		commits:    new(obs.Counter),
+		aborts:     new(obs.Counter),
+		durs:       new(obs.Histogram),
+		lockWaitS:  new(obs.Histogram),
+		lockWaitX:  new(obs.Histogram),
+		durableDur: new(obs.Histogram),
+		clk:        clock.NewReal(),
 	}
 	m.locks = newLockTable()
 	return m
@@ -131,6 +144,50 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 	m.aborts = reg.Counter(name, help, "outcome", "abort")
 	m.durs = reg.Histogram("reach_txn_duration_seconds",
 		"Top-level transaction lifetime, begin to resolution.")
+	const lwName, lwHelp = "reach_lock_wait_seconds",
+		"Time blocked waiting for a lock grant, by requested mode."
+	m.lockWaitS = reg.Histogram(lwName, lwHelp, "mode", "S")
+	m.lockWaitX = reg.Histogram(lwName, lwHelp, "mode", "X")
+	m.durableDur = reg.Histogram("reach_txn_durable_commit_seconds",
+		"Durability callback latency (WAL append + fsync) at top-level commit.")
+}
+
+// SetTracer installs the tracer that receives lock-wait and wal-fsync
+// spans for transactions carrying a trace ID. Call it before the
+// first Begin.
+func (m *Manager) SetTracer(tr *obs.Tracer) { m.tracer = tr }
+
+// observeLockWait records time spent blocked on a lock grant.
+func (m *Manager) observeLockWait(mode LockMode, d time.Duration) {
+	if mode == LockShared {
+		m.lockWaitS.Observe(d)
+	} else {
+		m.lockWaitX.Observe(d)
+	}
+}
+
+// span records a stage on the nearest trace in t's ancestry, if any
+// and a tracer is installed. Callers must not hold any mu on the
+// ancestry chain.
+func (m *Manager) span(t *Txn, stage, key string, start time.Time, dur time.Duration) {
+	if m.tracer == nil {
+		return
+	}
+	if id := t.traceUp(); id != 0 {
+		m.tracer.Span(id, stage, key, start, dur)
+	}
+}
+
+// traceUp returns the trace ID of t or its nearest traced ancestor:
+// a rule subtransaction carries the trace while its user-submitted
+// top-level parent does not.
+func (t *Txn) traceUp() uint64 {
+	for ; t != nil; t = t.parent {
+		if id := t.TraceID(); id != 0 {
+			return id
+		}
+	}
+	return 0
 }
 
 // SetListener installs the lifecycle listener (nil allowed).
@@ -162,6 +219,10 @@ type Txn struct {
 	// deps are commit-time dependencies: this transaction may commit
 	// only once each dep.on reaches the outcome dep.want.
 	deps []dependency
+
+	// trace is the event-trace ID this transaction's lock-wait and
+	// commit latency attribute to (0 when untraced).
+	trace uint64
 
 	// Values attached by higher layers (e.g. the object cache).
 	vals map[any]any
@@ -302,6 +363,23 @@ func (t *Txn) Value(key any) any {
 	return t.vals[key]
 }
 
+// SetTrace associates an event-trace ID with this transaction; the
+// manager then attributes lock waits and durable-commit latency to
+// that trace as spans. The rule engine tags rule transactions with the
+// triggering event's trace.
+func (t *Txn) SetTrace(id uint64) {
+	t.mu.Lock()
+	t.trace = id
+	t.mu.Unlock()
+}
+
+// TraceID reports the associated event-trace ID, 0 when untraced.
+func (t *Txn) TraceID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trace
+}
+
 // isAncestorOf reports whether t is a proper ancestor of other.
 func (t *Txn) isAncestorOf(other *Txn) bool {
 	for p := other.parent; p != nil; p = p.parent {
@@ -393,7 +471,12 @@ func (t *Txn) Commit() error {
 
 	if t.parent == nil {
 		if cf := t.m.commitFunc; cf != nil {
-			if err := cf(t); err != nil {
+			start := t.m.clk.Now()
+			err := cf(t)
+			dur := t.m.clk.Now().Sub(start)
+			t.m.durableDur.Observe(dur)
+			t.m.span(t, "wal-fsync", "", start, dur)
+			if err != nil {
 				_ = t.Abort() // secondary to the durable-commit error returned below
 				return fmt.Errorf("txn %d: durable commit: %w", t.id, err)
 			}

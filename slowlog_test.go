@@ -1,0 +1,208 @@
+package reach
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSlowLogWaterfall is the latency-attribution acceptance scenario:
+// a detached rule whose condition burns time, whose action blocks on a
+// lock held by a concurrent user transaction, and whose commit forces
+// the WAL, yields a slow-log entry whose spans name every phase —
+// lock-wait, wal-fsync, condition, action, commit — and together
+// attribute at least 90% of the end-to-end duration.
+func TestSlowLogWaterfall(t *testing.T) {
+	sys, err := Open(Options{
+		Dir: t.TempDir(),
+		Engine: EngineOptions{
+			SlowLogThreshold: 5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	river := NewClass("River",
+		Attr{Name: "level", Type: TInt})
+	river.Monitored = true
+	river.Method("updateWaterLevel", func(ctx *Ctx, self *Object, args []any) (any, error) {
+		return nil, ctx.Set(self, "level", args[0])
+	})
+	if err := sys.RegisterClass(river); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := sys.Begin()
+	trigger, _ := sys.DB.NewObject(tx, "River")
+	contended, _ := sys.DB.NewObject(tx, "River")
+	// Persist both so rule commits reach the WAL (and fsync).
+	if err := sys.DB.SetRoot(tx, "trigger", trigger); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DB.SetRoot(tx, "contended", contended); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	key := MethodSpec{Class: "River", Method: "updateWaterLevel", When: After}.Key()
+	if err := sys.Engine.AddRule(&Rule{
+		Name: "slow-chain", EventKey: key, ActionMode: Detached,
+		Cond: func(rc *RuleCtx) (bool, error) {
+			time.Sleep(5 * time.Millisecond)
+			return true, nil
+		},
+		Action: func(rc *RuleCtx) error {
+			// Blocks on the X lock the blocker transaction holds.
+			return rc.DB.Set(rc.Txn, contended, "level", int64(99))
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A user transaction takes the contended object's lock, holds it
+	// while the detached rule waits, then commits.
+	blocker := sys.Begin()
+	if err := sys.DB.Set(blocker, contended, "level", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(30 * time.Millisecond)
+		if err := blocker.Commit(); err != nil {
+			t.Error("blocker commit:", err)
+		}
+	}()
+
+	tx2 := sys.Begin()
+	if _, err := sys.DB.Invoke(tx2, trigger, "updateWaterLevel", int64(42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	sys.Engine.WaitDetached()
+
+	sl := sys.Engine.SlowLog()
+	entries := sl.Snapshot()
+	if len(entries) == 0 {
+		t.Fatalf("no promoted traces; tracer has %+v", sys.Tracer.Recent(8))
+	}
+	phases := []string{"lock-wait", "wal-fsync", "condition-eval", "action-exec", "commit"}
+	var found bool
+	for _, e := range entries {
+		all := true
+		for _, ph := range phases {
+			if e.AttributedNS[ph] <= 0 {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		found = true
+		if e.TotalNS < int64(30*time.Millisecond) {
+			t.Errorf("TotalNS = %v, want >= 30ms (the blocker hold)", time.Duration(e.TotalNS))
+		}
+		if e.AttributedNS["lock-wait"] < int64(10*time.Millisecond) {
+			t.Errorf("lock-wait = %v, want >= 10ms", time.Duration(e.AttributedNS["lock-wait"]))
+		}
+		if cov := float64(e.CoveredNS) / float64(e.TotalNS); cov < 0.90 {
+			t.Errorf("spans cover %.1f%% of end-to-end, want >= 90%% (attributed %v of %v: %v)",
+				cov*100, time.Duration(e.CoveredNS), time.Duration(e.TotalNS), e.AttributedNS)
+		}
+	}
+	if !found {
+		t.Fatalf("no slow-log entry with all phases %v; entries: %+v", phases, entries)
+	}
+
+	// The same entry is served at /slowlog.
+	rec := httptest.NewRecorder()
+	sys.Admin().Mux().ServeHTTP(rec, httptest.NewRequest("GET", "/slowlog", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /slowlog status %d", rec.Code)
+	}
+	var got struct {
+		ThresholdNS int64 `json:"threshold_ns"`
+		Entries     []struct {
+			AttributedNS map[string]int64 `json:"attributed_ns"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad /slowlog JSON: %v", err)
+	}
+	if got.ThresholdNS != int64(5*time.Millisecond) || len(got.Entries) == 0 {
+		t.Fatalf("/slowlog = %+v", got)
+	}
+	body := rec.Body.String()
+	for _, ph := range phases {
+		if !strings.Contains(body, ph) {
+			t.Errorf("/slowlog response missing phase %q", ph)
+		}
+	}
+
+	// The attribution histograms saw the same traffic.
+	reg := sys.Metrics
+	if n := reg.Histogram("reach_lock_wait_seconds", "", "mode", "X").Count(); n == 0 {
+		t.Error("reach_lock_wait_seconds{mode=X} has no observations")
+	}
+	if n := reg.Histogram("reach_wal_fsync_seconds", "").Count(); n == 0 {
+		t.Error("reach_wal_fsync_seconds has no observations")
+	}
+	if n := reg.Histogram("reach_rule_phase_seconds", "", "phase", "condition").Count(); n == 0 {
+		t.Error("reach_rule_phase_seconds{phase=condition} has no observations")
+	}
+	if n := reg.Histogram("reach_txn_durable_commit_seconds", "").Count(); n == 0 {
+		t.Error("reach_txn_durable_commit_seconds has no observations")
+	}
+}
+
+// TestSlowLogDisabledByDefault: with no threshold configured, nothing
+// is promoted even when rules are slow.
+func TestSlowLogDisabledByDefault(t *testing.T) {
+	sys, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	river := NewClass("River", Attr{Name: "level", Type: TInt})
+	river.Monitored = true
+	river.Method("updateWaterLevel", func(ctx *Ctx, self *Object, args []any) (any, error) {
+		return nil, ctx.Set(self, "level", args[0])
+	})
+	if err := sys.RegisterClass(river); err != nil {
+		t.Fatal(err)
+	}
+	tx := sys.Begin()
+	obj, _ := sys.DB.NewObject(tx, "River")
+	tx.Commit()
+
+	key := MethodSpec{Class: "River", Method: "updateWaterLevel", When: After}.Key()
+	sys.Engine.AddRule(&Rule{
+		Name: "slow", EventKey: key, ActionMode: Immediate,
+		Action: func(rc *RuleCtx) error {
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		},
+	})
+	tx2 := sys.Begin()
+	if _, err := sys.DB.Invoke(tx2, obj, "updateWaterLevel", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n := sys.Engine.SlowLog().Len(); n != 0 {
+		t.Fatalf("slow log has %d entries with promotion disabled", n)
+	}
+}
