@@ -6,7 +6,7 @@ BENCH ?= BENCH_6.json
 BENCH_N ?= 2000
 BENCH_TOLERANCE ?= 1.0
 
-.PHONY: build test race vet lint crash stress bench bench-diff all
+.PHONY: build test race vet lint analyze crash stress bench bench-diff all
 
 all: build vet test
 
@@ -28,6 +28,14 @@ vet:
 lint:
 	$(GO) run ./cmd/reachvet
 	$(GO) run ./cmd/rulec -vet examples/*/rules/*.rules
+
+# analyze runs the whole-ruleset interaction analysis (triggering
+# graph, termination, confluence, reachability) over every shipped
+# rule file, failing on unsuppressed errors, and confirms the
+# justified-suppression fixture stays accepted.
+analyze:
+	$(GO) run ./cmd/rulec -analyze examples/*/rules/*.rules
+	$(GO) run ./cmd/rulec -analyze cmd/rulec/testdata/cycle_suppressed.rules
 
 # bench regenerates the perf-trajectory baseline in place. bench-diff
 # re-measures into a scratch file and compares it against the committed

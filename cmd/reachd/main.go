@@ -130,6 +130,8 @@ func repl(sys *reach.System, in io.Reader, out io.Writer) {
 			if err := objectCmd(sys, out, cmd, args); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
+		case "rules":
+			rulesCmd(sys, out, args)
 		case "rule":
 			rest := strings.TrimSpace(strings.TrimPrefix(line, "rule"))
 			ruleBuf.WriteString("rule " + rest + "\n")
@@ -222,6 +224,43 @@ func repl(sys *reach.System, in io.Reader, out io.Writer) {
 		default:
 			fmt.Fprintf(out, "unknown command %q (try 'help')\n", cmd)
 		}
+	}
+}
+
+// rulesCmd surfaces the live engine's whole-ruleset interaction
+// analysis: 'rules graph' dumps the triggering graph — nodes, edges,
+// cycles, and the static cascade-depth bound — for operators debugging
+// a misbehaving rule set.
+func rulesCmd(sys *reach.System, out io.Writer, args []string) {
+	if len(args) != 1 || args[0] != "graph" {
+		fmt.Fprintln(out, "usage: rules graph")
+		return
+	}
+	res := sys.RuleAnalysis()
+	g := res.Graph
+	fmt.Fprintf(out, "  triggering graph: %d rule(s), %d edge(s)\n", len(g.Nodes), len(g.Edges))
+	for _, n := range g.Nodes {
+		marks := ""
+		if n.InCycle {
+			marks += " [cycle]"
+		}
+		if n.Unreachable {
+			marks += " [unreachable]"
+		}
+		fmt.Fprintf(out, "  node %-24s prio=%d cond=%v action=%v%s\n",
+			n.Name(), n.Decl.Prio, n.Cond, n.Action, marks)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(out, "  edge %s -> %s on %s (%s)\n", e.From, e.To, e.Key, e.Via)
+	}
+	if len(res.Cycles) == 0 {
+		fmt.Fprintf(out, "  no cycles; static cascade-depth bound %d\n", res.DepthBound)
+	}
+	for _, c := range res.Cycles {
+		fmt.Fprintf(out, "  cycle [%v] %s\n", c.Severity, c)
+	}
+	for _, f := range res.Findings {
+		fmt.Fprintf(out, "  finding %s\n", f)
 	}
 }
 
@@ -363,6 +402,7 @@ func help(out io.Writer) {
   stats trace <n>               last n event-lifecycle traces
   slowlog [clear | threshold <dur>]   slow-transaction log with latency attribution
   deadletter [clear]            inspect / empty the rule dead-letter queue
+  rules graph                   triggering graph, cycles, cascade-depth bound
   breakers                      per-rule circuit breaker states
   rearm <rule>                  close a tripped rule's circuit breaker
   drain [timeout]               refuse new detached spawns, wait for in-flight rules

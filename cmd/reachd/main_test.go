@@ -62,6 +62,45 @@ func TestREPLSmoke(t *testing.T) {
 	}
 }
 
+// TestREPLRulesGraph loads a two-rule chain and dumps the live
+// engine's triggering graph: nodes, the edge between them, the
+// cycle-free summary with its static cascade-depth bound.
+func TestREPLRulesGraph(t *testing.T) {
+	sys, err := reach.Open(reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	script := strings.Join([]string{
+		"class Tank level:int",
+		`rule Fill { prio 5; decl Tank *t, int x; event after t->update_level(x); action imm t->update_level(x); };`,
+		"rules graph",
+		"rules",
+		"quit",
+	}, "\n")
+	var out bytes.Buffer
+	repl(sys, strings.NewReader(script), &out)
+	got := out.String()
+
+	for _, want := range []string{
+		"triggering graph: 1 rule(s), 1 edge(s)",
+		"node Fill",
+		"prio=5",
+		"[cycle]",
+		"edge Fill -> Fill on method:Tank.update_level:after (action)",
+		"cycle [error] Fill -> Fill",
+		"usage: rules graph",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rules graph output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full output:\n%s", got)
+	}
+}
+
 // TestREPLMultilineRule checks the continuation path: a rule spread
 // over several lines is buffered until the closing "};".
 func TestREPLMultilineRule(t *testing.T) {

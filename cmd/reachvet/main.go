@@ -4,13 +4,16 @@
 // and exits nonzero when any finding survives the //lint:allow
 // suppressions.
 //
-//	reachvet [-only a,b] [-list] [dir ...]
+//	reachvet [-only a,b] [-list] [-json] [dir ...]
 //
 // With no directories it analyzes every package of the module
-// containing the working directory.
+// containing the working directory. -json emits the findings as a
+// JSON array of {file, line, col, analyzer, message} objects for CI
+// and editor integration.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
 	typeErrs := fs.Bool("typeerrs", false, "also print soft type-checking errors (debugging)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -93,8 +97,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	findings := lint.Run(pkgs, suite)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *jsonOut {
+		type jsonFinding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Msg      string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Msg:      f.Msg,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "reachvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "reachvet: %d finding(s)\n", len(findings))

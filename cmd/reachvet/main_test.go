@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -25,6 +26,27 @@ func TestUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errw.String(), `unknown analyzer "nonesuch"`) {
 		t.Errorf("missing diagnostic:\n%s", errw.String())
+	}
+}
+
+// TestJSONOutput verifies -json emits a well-formed array (empty when
+// the analyzed package is clean, as lint's own testdata-free packages
+// are expected to be after TestModuleIsClean).
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages")
+	}
+	var out, errw bytes.Buffer
+	exit := run([]string{"-json", "../../internal/event"}, &out, &errw)
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s%s", exit, out.String(), errw.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean package produced findings: %v", findings)
 	}
 }
 

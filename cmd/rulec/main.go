@@ -8,11 +8,25 @@
 // without a validity interval, unknown consumption policies,
 // duplicate rule names, and undeclared variable references.
 //
-//	rulec [-vet] file.rules [file2.rules ...]
+// With -analyze it runs the whole-ruleset interaction analysis over
+// every file as one set: the triggering graph (actions raising events
+// that fire further rules), termination (cycles, classified by
+// coupling mode, plus the static cascade-depth bound for acyclic
+// sets), confluence (order-dependent equal-priority pairs), and
+// reachability (rules whose event can never be raised). Findings can
+// be suppressed per rule with a justified comment in the source:
+//
+//	# lint:allow termination operators bound this loop via the interlock
+//
+// -json emits vet and analysis findings as a JSON array for CI and
+// editors; -dot writes the triggering graph in Graphviz dot syntax.
+//
+//	rulec [-vet] [-analyze] [-json] [-dot out.dot] file.rules [file2.rules ...]
 //	echo 'rule R { ... };' | rulec -
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,12 +39,33 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the machine-readable diagnostic shape shared by -vet
+// and -analyze output: file, line, analyzer, message (plus rule and
+// severity when known).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Rule     string `json:"rule,omitempty"`
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	Msg      string `json:"message"`
+}
+
+type ruleFile struct {
+	path  string
+	src   string
+	decls []*reach.RuleDecl
+}
+
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rulec", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	vet := fs.Bool("vet", false, "run the semantic pass (Table 1, validity, policies, variables)")
+	analyze := fs.Bool("analyze", false, "run whole-ruleset interaction analysis (termination, confluence, reachability)")
+	jsonOut := fs.Bool("json", false, "emit vet/analysis findings as a JSON array on stdout")
+	dotPath := fs.String("dot", "", "with -analyze, write the triggering graph as Graphviz dot to this file (- for stdout)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: rulec [-vet] <file.rules>... (or - for stdin)")
+		fmt.Fprintln(stderr, "usage: rulec [-vet] [-analyze] [-json] [-dot out.dot] <file.rules>... (or - for stdin)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -40,7 +75,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	vetter := reach.NewRuleVetter()
+
+	var files []ruleFile
 	exit := 0
 	for _, path := range fs.Args() {
 		var src []byte
@@ -61,40 +97,132 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			exit = 1
 			continue
 		}
-		if *vet {
-			diags := vetter.Vet(path, decls)
+		files = append(files, ruleFile{path: path, src: string(src), decls: decls})
+	}
+
+	var findings []jsonFinding
+
+	if *vet {
+		vetter := reach.NewRuleVetter()
+		for _, f := range files {
+			diags := vetter.Vet(f.path, f.decls)
+			for _, d := range diags {
+				findings = append(findings, jsonFinding{
+					File: d.File, Line: d.Line, Rule: d.Rule,
+					Analyzer: "vet", Severity: "error", Msg: d.Msg,
+				})
+				exit = 1
+			}
+			if *jsonOut {
+				continue
+			}
 			if len(diags) > 0 {
 				for _, d := range diags {
 					fmt.Fprintln(stderr, d)
 				}
-				exit = 1
 				continue
 			}
-			fmt.Fprintf(stdout, "%s: %d rule(s) OK (vetted)\n", path, len(decls))
-		} else {
-			fmt.Fprintf(stdout, "%s: %d rule(s) OK\n", path, len(decls))
+			fmt.Fprintf(stdout, "%s: %d rule(s) OK (vetted)\n", f.path, len(f.decls))
+			summarize(stdout, f.decls)
 		}
-		for _, d := range decls {
-			condMode := d.CondMode
-			if condMode == "" {
-				condMode = d.ActionMode
+	}
+
+	if *analyze {
+		az := reach.NewRuleAnalyzer()
+		total := 0
+		for _, f := range files {
+			az.Add(f.path, f.src, f.decls)
+			total += len(f.decls)
+		}
+		res := az.Run(nil)
+		errs, warns := 0, 0
+		for _, f := range res.Findings {
+			sev := f.Severity.String()
+			if f.Severity == reach.RuleError {
+				errs++
+				exit = 1
+			} else {
+				warns++
 			}
-			if condMode == "" {
-				condMode = "detached (default)"
+			findings = append(findings, jsonFinding{
+				File: f.File, Line: f.Line, Rule: f.Rule,
+				Analyzer: f.Analyzer, Severity: sev, Msg: f.Msg,
+			})
+			if !*jsonOut {
+				fmt.Fprintln(stderr, f)
 			}
-			actionMode := d.ActionMode
-			if actionMode == "" {
-				actionMode = "detached (default)"
+		}
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "analyzed %d file(s), %d rule(s): %d error(s), %d warning(s), %d suppressed\n",
+				len(files), total, errs, warns, res.Suppressed)
+			if res.DepthBound > 0 {
+				fmt.Fprintf(stdout, "static cascade-depth bound: %d\n", res.DepthBound)
 			}
-			fmt.Fprintf(stdout, "  rule %-20s prio %-4d event %-40v cond %s / action %s\n",
-				d.Name, d.Prio, d.Event, condMode, actionMode)
-			if d.Scope != "" || d.Policy != "" || d.Validity != 0 {
-				fmt.Fprintf(stdout, "    composite: scope=%s policy=%s validity=%v\n",
-					orDefault(d.Scope, "transaction"), orDefault(d.Policy, "chronicle"), d.Validity)
+		}
+		if *dotPath != "" {
+			if err := writeDOT(*dotPath, res.Graph, stdout); err != nil {
+				fmt.Fprintf(stderr, "rulec: %v\n", err)
+				exit = 1
 			}
 		}
 	}
+
+	if !*vet && !*analyze {
+		for _, f := range files {
+			fmt.Fprintf(stdout, "%s: %d rule(s) OK\n", f.path, len(f.decls))
+			summarize(stdout, f.decls)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []jsonFinding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "rulec: %v\n", err)
+			return 1
+		}
+	}
 	return exit
+}
+
+func writeDOT(path string, g *reach.RuleGraph, stdout io.Writer) error {
+	if path == "-" {
+		return g.DOT(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.DOT(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func summarize(stdout io.Writer, decls []*reach.RuleDecl) {
+	for _, d := range decls {
+		condMode := d.CondMode
+		if condMode == "" {
+			condMode = d.ActionMode
+		}
+		if condMode == "" {
+			condMode = "detached (default)"
+		}
+		actionMode := d.ActionMode
+		if actionMode == "" {
+			actionMode = "detached (default)"
+		}
+		fmt.Fprintf(stdout, "  rule %-20s prio %-4d event %-40v cond %s / action %s\n",
+			d.Name, d.Prio, d.Event, condMode, actionMode)
+		if d.Scope != "" || d.Policy != "" || d.Validity != 0 {
+			fmt.Fprintf(stdout, "    composite: scope=%s policy=%s validity=%v\n",
+				orDefault(d.Scope, "transaction"), orDefault(d.Policy, "chronicle"), d.Validity)
+		}
+	}
 }
 
 func orDefault(s, def string) string {

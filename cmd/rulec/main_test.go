@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -91,6 +92,118 @@ func TestVetPassesWithoutFlag(t *testing.T) {
 	_, stderr, exit := runRulec(t, filepath.Join("testdata", "table1_invalid.rules"))
 	if exit != 0 {
 		t.Fatalf("exit = %d, want 0 (syntax only); stderr:\n%s", exit, stderr)
+	}
+}
+
+// TestAnalyzeRejectsImmediateCycle drives the acceptance fixture: a
+// seeded immediate-coupling cycle exits non-zero with the cycle path
+// named rule-by-rule.
+func TestAnalyzeRejectsImmediateCycle(t *testing.T) {
+	stdout, stderr, exit := runRulec(t, "-analyze", filepath.Join("testdata", "cycle_imm.rules"))
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", exit, stdout)
+	}
+	if !strings.Contains(stderr, "PingA -> PongB -> PingA") {
+		t.Errorf("cycle path not named rule-by-rule:\n%s", stderr)
+	}
+	checkGolden(t, "cycle_imm.golden", stderr)
+}
+
+// TestAnalyzeSuppressedCyclePasses: the same set with a justified
+// lint:allow comment is accepted.
+func TestAnalyzeSuppressedCyclePasses(t *testing.T) {
+	stdout, stderr, exit := runRulec(t, "-analyze", filepath.Join("testdata", "cycle_suppressed.rules"))
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", exit, stderr)
+	}
+	if !strings.Contains(stdout, "1 suppressed") {
+		t.Errorf("suppression not reported:\n%s", stdout)
+	}
+	checkGolden(t, "cycle_suppressed.golden", stdout)
+}
+
+// TestAnalyzeJSON checks the machine-readable findings shape: file,
+// line, rule, analyzer, severity, message.
+func TestAnalyzeJSON(t *testing.T) {
+	stdout, _, exit := runRulec(t, "-analyze", "-json", filepath.Join("testdata", "cycle_imm.rules"))
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1", exit)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings in JSON output")
+	}
+	f := findings[0]
+	for _, key := range []string{"file", "line", "analyzer", "severity", "message"} {
+		if _, ok := f[key]; !ok {
+			t.Errorf("finding missing %q: %v", key, f)
+		}
+	}
+	if f["analyzer"] != "termination" || f["severity"] != "error" {
+		t.Errorf("finding = %v, want termination error", f)
+	}
+}
+
+// TestVetJSON: rulec -vet -json emits vet diagnostics in the same
+// machine-readable shape.
+func TestVetJSON(t *testing.T) {
+	stdout, _, exit := runRulec(t, "-vet", "-json", filepath.Join("testdata", "table1_invalid.rules"))
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1", exit)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings in JSON output")
+	}
+	for _, f := range findings {
+		if f["analyzer"] != "vet" {
+			t.Errorf("analyzer = %v, want vet", f["analyzer"])
+		}
+	}
+	// A clean file emits an empty array, not null.
+	stdout, _, exit = runRulec(t, "-vet", "-json", filepath.Join("testdata", "valid.rules"))
+	if exit != 0 {
+		t.Fatalf("clean vet exit = %d, want 0", exit)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout)
+	}
+}
+
+// TestAnalyzeDOT exports the triggering graph to stdout.
+func TestAnalyzeDOT(t *testing.T) {
+	stdout, _, exit := runRulec(t, "-analyze", "-dot", "-", filepath.Join("testdata", "cycle_imm.rules"))
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1", exit)
+	}
+	for _, want := range []string{
+		"digraph triggering {",
+		`"PingA" -> "PongB"`,
+		`"PongB" -> "PingA"`,
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestAnalyzeExamplesClean keeps the shipped example rule sets free of
+// unsuppressed analysis errors — the same gate make analyze runs in CI.
+func TestAnalyzeExamplesClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "rules", "*.rules"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example rule files found: %v", err)
+	}
+	args := append([]string{"-analyze"}, paths...)
+	stdout, stderr, exit := runRulec(t, args...)
+	if exit != 0 {
+		t.Fatalf("examples not analysis-clean: exit %d\n%s%s", exit, stdout, stderr)
 	}
 }
 

@@ -7,6 +7,9 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"strings"
+	"sync"
 
 	"repro/internal/clock"
 	"repro/internal/eca"
@@ -15,6 +18,7 @@ import (
 	"repro/internal/oodb"
 	"repro/internal/query"
 	"repro/internal/rules"
+	"repro/internal/rules/analysis"
 	"repro/internal/txn"
 )
 
@@ -28,6 +32,11 @@ type Options struct {
 	DB oodb.Options
 	// Engine tunes the rule engine.
 	Engine eca.Options
+	// StrictRules gates LoadRules on the whole-ruleset interaction
+	// analysis: a source whose addition would leave the accumulated
+	// rule set with unsuppressed termination, confluence-error, or
+	// reachability errors is refused before anything registers.
+	StrictRules bool
 }
 
 // System is a running REACH instance.
@@ -43,6 +52,20 @@ type System struct {
 	// Build identifies the running binary (also exposed as the
 	// reach_build_info gauge).
 	Build obs.BuildInfo
+
+	strictRules bool
+
+	// Loaded rule sources accumulate so the whole-ruleset analysis
+	// sees every LoadRules call as one interacting set.
+	ruleMu    sync.Mutex
+	ruleSrcs  []ruleSource
+	ruleLoads int
+}
+
+type ruleSource struct {
+	name  string
+	src   string
+	decls []*rules.RuleDecl
 }
 
 // Open assembles and returns a System.
@@ -69,12 +92,13 @@ func Open(opts Options) (*System, error) {
 	engineOpts.Metrics = reg
 	engine := eca.New(db, engineOpts)
 	return &System{
-		DB:      db,
-		Engine:  engine,
-		Query:   query.New(db, engine),
-		Metrics: reg,
-		Tracer:  engine.Tracer(),
-		Build:   build,
+		DB:          db,
+		Engine:      engine,
+		Query:       query.New(db, engine),
+		Metrics:     reg,
+		Tracer:      engine.Tracer(),
+		Build:       build,
+		strictRules: opts.StrictRules,
 	}, nil
 }
 
@@ -113,9 +137,91 @@ func (s *System) Begin() *txn.Txn { return s.DB.Begin() }
 // RegisterClass registers a class descriptor in the data dictionary.
 func (s *System) RegisterClass(c *oodb.Class) error { return s.DB.Dictionary().Register(c) }
 
-// LoadRules parses and registers a REACH rule-language source.
+// LoadRules parses and registers a REACH rule-language source. Every
+// load joins the accumulated rule set for whole-ruleset interaction
+// analysis: under Options.StrictRules a load whose addition leaves
+// the set with analysis errors is refused wholesale; otherwise the
+// analysis only maintains the engine's static cascade-depth bound
+// (cleared while the set has a termination cycle, so the configured
+// ceiling alone bounds it).
 func (s *System) LoadRules(src string) (*rules.Loaded, error) {
-	return rules.Load(s.Engine, src)
+	decls, err := rules.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	// ruleMu guards only the source-list snapshot and commit; the
+	// analysis, registration, and engine calls run outside it
+	// (lockdiscipline: no cross-package call under a held mutex).
+	s.ruleMu.Lock()
+	s.ruleLoads++
+	name := fmt.Sprintf("<load-%d>", s.ruleLoads)
+	snapshot := append([]ruleSource(nil), s.ruleSrcs...)
+	s.ruleMu.Unlock()
+	next := ruleSource{name: name, src: src, decls: decls}
+	res := s.analyze(append(snapshot, next))
+	if s.strictRules && res.HasErrors() {
+		var msgs []string
+		for _, f := range res.Findings {
+			if f.Severity == analysis.Error {
+				msgs = append(msgs, f.String())
+			}
+		}
+		return nil, fmt.Errorf("core: rule-set analysis rejects load:\n%s", strings.Join(msgs, "\n"))
+	}
+	loaded, err := rules.Load(s.Engine, src)
+	if err != nil {
+		return nil, err
+	}
+	s.ruleMu.Lock()
+	s.ruleSrcs = append(s.ruleSrcs, next)
+	s.ruleMu.Unlock()
+	if len(res.Cycles) == 0 && res.DepthBound > 0 {
+		s.Engine.SetCascadeBound(res.DepthBound)
+	} else {
+		s.Engine.SetCascadeBound(0)
+	}
+	return loaded, nil
+}
+
+// RuleAnalysis runs the whole-ruleset interaction analysis over every
+// rule source loaded so far, against the live data dictionary (closed
+// world): the triggering graph, termination cycles, confluence pairs,
+// and unreachable rules.
+func (s *System) RuleAnalysis() *analysis.Result {
+	s.ruleMu.Lock()
+	snapshot := append([]ruleSource(nil), s.ruleSrcs...)
+	s.ruleMu.Unlock()
+	return s.analyze(snapshot)
+}
+
+// analyze runs the interaction analysis over the given sources
+// against the dictionary world.
+func (s *System) analyze(srcs []ruleSource) *analysis.Result {
+	az := analysis.New()
+	for _, rs := range srcs {
+		az.Add(rs.name, rs.src, rs.decls)
+	}
+	return az.Run(s.ruleWorld())
+}
+
+// ruleWorld closes the analysis world over the registered schema:
+// every Class.method and Class.attr the dictionary knows.
+func (s *System) ruleWorld() *analysis.World {
+	w := &analysis.World{Methods: make(map[string]bool), Attrs: make(map[string]bool)}
+	dict := s.DB.Dictionary()
+	for _, name := range dict.Classes() {
+		c, err := dict.Lookup(name)
+		if err != nil {
+			continue
+		}
+		for _, m := range c.MethodNames() {
+			w.Methods[name+"."+m] = true
+		}
+		for _, a := range c.Attrs() {
+			w.Attrs[name+"."+a.Name] = true
+		}
+	}
+	return w
 }
 
 // Close shuts the engine's background goroutines down and closes the

@@ -264,6 +264,16 @@ func (cm *compositeMgr) finish(completions []*event.Instance, from *event.Instan
 				comp.Trace = inheritTrace(comp)
 			}
 		}
+		// A composite is as deep in the cascade as its deepest
+		// constituent: one rule-raised part makes the completion part of
+		// that rule's cascade.
+		if comp.Depth == 0 {
+			for _, p := range comp.Flatten() {
+				if p.Depth > comp.Depth {
+					comp.Depth = p.Depth
+				}
+			}
+		}
 		e.span(comp.Trace, "compose", cm.decl.Name, start)
 	}
 	e.handleCompletions(cm, completions)

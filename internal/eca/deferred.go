@@ -150,6 +150,7 @@ func (e *Engine) runActionOnly(t *txn.Txn, r *Rule, in *event.Instance) (err err
 		}
 	}()
 	t.SetTrace(in.Trace)
+	t.SetValue(cascadeKey{}, in.Depth+1)
 	rc := &RuleCtx{Engine: e, DB: e.db, Txn: t, Trigger: in, Context: context.Background()}
 	as := e.clk.Now()
 	aerr := r.Action(rc)

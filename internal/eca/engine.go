@@ -71,6 +71,12 @@ type Options struct {
 	// MaxDeferredRounds bounds cascading deferred rule execution at
 	// EOT (default 32).
 	MaxDeferredRounds int
+	// MaxCascadeDepth is the hard ceiling on rule-cascade depth: an
+	// event raised at this depth that would fire further rules trips
+	// the cascade guard instead of recursing or spawning unboundedly.
+	// 0 means the default of 64; negative disables the ceiling (a
+	// static bound installed via SetCascadeBound still applies).
+	MaxCascadeDepth int
 	// ComposerBuffer is the channel capacity of asynchronous
 	// composers (default 1024).
 	ComposerBuffer int
@@ -131,6 +137,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDeferredRounds == 0 {
 		o.MaxDeferredRounds = 32
+	}
+	if o.MaxCascadeDepth == 0 {
+		o.MaxCascadeDepth = 64
 	}
 	if o.ComposerBuffer == 0 {
 		o.ComposerBuffer = 1024
@@ -198,6 +207,10 @@ type engineMetrics struct {
 	phaseAbort    *obs.Histogram
 	deferredDwell *obs.Histogram
 
+	// cascade-depth guard series.
+	cascadeTrips *obs.Counter
+	cascadeHigh  *obs.Gauge
+
 	// supervised-executor series.
 	retries       *obs.Counter
 	panics        *obs.Counter
@@ -250,6 +263,10 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		phaseAbort:     reg.Histogram(phase, phaseHelp, "phase", "abort"),
 		deferredDwell: reg.Histogram("reach_deferred_dwell_seconds",
 			"Time a deferred firing sat queued between detection and its EOT round."),
+		cascadeTrips: reg.Counter("reach_rule_cascade_depth_trips_total",
+			"Rule firings refused because the event's cascade depth reached the bound."),
+		cascadeHigh: reg.Gauge("reach_rule_cascade_depth_highwater",
+			"Deepest rule cascade that fired rules."),
 		retries: reg.Counter("reach_rule_retries_total",
 			"Detached rule attempts retried after a retriable abort."),
 		panics: reg.Counter("reach_rule_panics_total",
@@ -293,6 +310,9 @@ type Engine struct {
 	activeTxns    map[uint64]*txn.Txn
 	resolvedTxns  map[uint64]txn.Status
 	resolvedOrder []uint64
+
+	cascadeMu    sync.Mutex
+	cascadeBound int // static bound from rule-set analysis; 0 = none
 
 	hist *globalHistory
 
@@ -571,6 +591,54 @@ func (e *Engine) RemoveRule(eventKey, name string) bool {
 	return true
 }
 
+// ErrCascadeDepth aborts an operation whose event reached the cascade
+// depth bound while further rules were still primed to fire. Without
+// the guard an unterminating rule set recurses (immediate coupling) or
+// spawns transactions (detached) until the process dies.
+var ErrCascadeDepth = errors.New("eca: rule cascade depth bound reached")
+
+// cascadeKey tags rule transactions with the depth of events their
+// bodies raise: the triggering event's depth plus one. Consume reads
+// it back off the raising transaction.
+type cascadeKey struct{}
+
+// SetCascadeBound installs the static cascade-depth bound computed by
+// whole-ruleset analysis: the longest rule chain a single external
+// event can fire. The effective guard limit is the lower of this bound
+// and Options.MaxCascadeDepth. n <= 0 clears the static bound, leaving
+// only the configured ceiling.
+func (e *Engine) SetCascadeBound(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.cascadeMu.Lock()
+	e.cascadeBound = n
+	e.cascadeMu.Unlock()
+}
+
+// CascadeBound returns the installed static bound (0 when none).
+func (e *Engine) CascadeBound() int {
+	e.cascadeMu.Lock()
+	defer e.cascadeMu.Unlock()
+	return e.cascadeBound
+}
+
+// cascadeLimit resolves the effective depth limit: the lower of the
+// static bound and the configured ceiling; 0 disables the guard.
+func (e *Engine) cascadeLimit() int {
+	e.cascadeMu.Lock()
+	bound := e.cascadeBound
+	e.cascadeMu.Unlock()
+	ceiling := e.opts.MaxCascadeDepth
+	if ceiling < 0 {
+		ceiling = 0
+	}
+	if bound > 0 && (ceiling == 0 || bound < ceiling) {
+		return bound
+	}
+	return ceiling
+}
+
 // trigger resolves the live transaction an instance was raised in.
 func (e *Engine) trigger(in *event.Instance) *txn.Txn {
 	if t, ok := in.Origin.(*txn.Txn); ok {
@@ -621,6 +689,13 @@ func (e *Engine) Consume(in *event.Instance) error {
 	start := e.clk.Now()
 	e.record(m, in)
 	trigger := e.trigger(in)
+	if in.Depth == 0 && trigger != nil {
+		// Events raised inside a rule transaction inherit the depth the
+		// executing rule stamped on it; application events stay at 0.
+		if d, ok := trigger.Value(cascadeKey{}).(int); ok {
+			in.Depth = d
+		}
+	}
 	err := e.fireRules(m, in, trigger)
 	e.propagate(m, in)
 	e.span(in.Trace, "detect", in.SpecKey, start)
@@ -648,9 +723,26 @@ func (e *Engine) fireRules(m *Manager, in *event.Instance, trigger *txn.Txn) err
 	m.mu.Lock()
 	rules := append([]*Rule(nil), m.rules...)
 	m.mu.Unlock()
-	if len(rules) == 0 {
+	enabled := 0
+	for _, r := range rules {
+		if !r.Disabled {
+			enabled++
+		}
+	}
+	if enabled == 0 {
 		return nil
 	}
+	// The cascade-depth guard: an event this deep may not fire further
+	// rules. It trips only when rules would actually fire, so deep but
+	// inert events pass through, and it vetoes before any coupling mode
+	// has enqueued or spawned work.
+	if limit := e.cascadeLimit(); limit > 0 && in.Depth >= limit {
+		e.met.cascadeTrips.Inc()
+		e.span(in.Trace, "cascade-depth", in.SpecKey, e.clk.Now())
+		return fmt.Errorf("eca: event %s at cascade depth %d would fire %d rule(s) past the bound %d: %w",
+			in.SpecKey, in.Depth, enabled, limit, ErrCascadeDepth)
+	}
+	e.met.cascadeHigh.SetMax(int64(in.Depth))
 	var immediate []*Rule
 	for _, r := range rules {
 		if r.Disabled {
@@ -752,8 +844,10 @@ func (e *Engine) runRuleIn(t *txn.Txn, r *Rule, in *event.Instance) error {
 // via RuleCtx.Context.
 func (e *Engine) runRuleCtx(ctx context.Context, t *txn.Txn, r *Rule, in *event.Instance) error {
 	// Tag the rule transaction with the triggering event's trace so the
-	// lock manager and commit path attribute their waits to it.
+	// lock manager and commit path attribute their waits to it, and with
+	// the cascade depth events raised by the rule body will carry.
 	t.SetTrace(in.Trace)
+	t.SetValue(cascadeKey{}, in.Depth+1)
 	rc := &RuleCtx{Engine: e, DB: e.db, Txn: t, Trigger: in, Context: ctx}
 	ok := true
 	var err error

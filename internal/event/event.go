@@ -226,6 +226,12 @@ type Instance struct {
 	// rule subtransaction — that raised the event. Layering keeps the
 	// type opaque here.
 	Origin any
+
+	// Depth is the cascade depth: 0 for events raised by application
+	// transactions, n+1 for events raised by a rule that was itself
+	// fired at depth n. Composite instances inherit the deepest
+	// constituent. The engine's cascade-depth guard bounds it.
+	Depth int
 }
 
 // String implements fmt.Stringer.

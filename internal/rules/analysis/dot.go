@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOT writes the triggering graph in Graphviz dot syntax. Rules in a
+// termination cycle render red, unreachable rules gray and dashed;
+// edges are labeled with the event that carries them, and edges raised
+// from a rule's condition (rather than its action) are dashed. Output
+// order is deterministic: nodes in declaration order, edges in the
+// graph's (From, To, Key, Via) sort.
+func (g *Graph) DOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph triggering {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes {
+		attrs := []string{fmt.Sprintf("label=%q", fmt.Sprintf("%s\\nprio %d · %v", n.Name(), n.Decl.Prio, n.Action))}
+		switch {
+		case n.InCycle:
+			attrs = append(attrs, "color=red", "fontcolor=red")
+		case n.Unreachable:
+			attrs = append(attrs, "color=gray", "fontcolor=gray", "style=dashed")
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.Name(), strings.Join(attrs, ", "))
+	}
+	for _, e := range g.Edges {
+		attrs := []string{fmt.Sprintf("label=%q", e.Key)}
+		if e.Via == "condition" {
+			attrs = append(attrs, "style=dashed")
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", e.From, e.To, strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

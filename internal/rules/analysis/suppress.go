@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// suppression is one reviewed lint:allow comment in a .rules source:
+//
+//	# lint:allow termination detached loop bounded by plant breaker
+//
+// It attaches to the next rule declaration at or below it and silences
+// that rule's findings from the named analyzer. The justification is
+// mandatory — an allow without a reason is itself an error — and an
+// allow that silences nothing is reported as stale so suppressions
+// cannot outlive the problem they excused.
+type suppression struct {
+	line          int
+	analyzer      string
+	justification string
+	used          bool
+}
+
+// parseSuppressions scans raw .rules source for lint:allow comments.
+func parseSuppressions(src string) []*suppression {
+	if src == "" {
+		return nil
+	}
+	var out []*suppression
+	for i, line := range strings.Split(src, "\n") {
+		text, ok := commentText(line)
+		if !ok {
+			continue
+		}
+		rest, ok := strings.CutPrefix(text, "lint:allow")
+		if !ok {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		analyzer, justification, _ := strings.Cut(rest, " ")
+		out = append(out, &suppression{
+			line:          i + 1,
+			analyzer:      analyzer,
+			justification: strings.TrimSpace(justification),
+		})
+	}
+	return out
+}
+
+// commentText extracts the trimmed comment body of a line, accepting
+// both the # and // comment forms.
+func commentText(line string) (string, bool) {
+	for _, marker := range []string{"#", "//"} {
+		if _, after, ok := strings.Cut(line, marker); ok {
+			return strings.TrimSpace(after), true
+		}
+	}
+	return "", false
+}
+
+// applySuppressions attaches each file's suppressions to rules, drops
+// findings they cover, and reports malformed or stale suppressions.
+func (a *Analyzer) applySuppressions(raw []Finding) (kept []Finding, suppressed int) {
+	type attached struct {
+		*suppression
+		file string
+		rule string
+	}
+	var all []attached
+	for _, fs := range a.files {
+		for _, sup := range fs.sups {
+			at := attached{suppression: sup, file: fs.name}
+			// Attach to the nearest rule declared at or below the
+			// comment; a trailing comment attaches to nothing.
+			best := -1
+			for _, d := range fs.decls {
+				if d.Line >= sup.line && (best == -1 || d.Line < best) {
+					best = d.Line
+					at.rule = d.Name
+				}
+			}
+			all = append(all, at)
+		}
+	}
+
+	for _, f := range raw {
+		hit := false
+		for i := range all {
+			s := &all[i]
+			if s.file == f.File && s.rule == f.Rule && s.analyzer == f.Analyzer && s.justification != "" {
+				s.used = true
+				hit = true
+			}
+		}
+		if hit {
+			suppressed++
+		} else {
+			kept = append(kept, f)
+		}
+	}
+
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].file != all[j].file {
+			return all[i].file < all[j].file
+		}
+		return all[i].line < all[j].line
+	})
+	for _, s := range all {
+		switch {
+		case s.analyzer == "" || s.justification == "":
+			kept = append(kept, Finding{
+				File: s.file, Line: s.line, Rule: s.rule,
+				Analyzer: "suppression", Severity: Error,
+				Msg: "lint:allow needs an analyzer name and a justification: lint:allow <analyzer> <why this is safe>",
+			})
+		case !s.used:
+			kept = append(kept, Finding{
+				File: s.file, Line: s.line, Rule: s.rule,
+				Analyzer: "suppression", Severity: Warning,
+				Msg: "stale lint:allow " + s.analyzer + ": no finding left to suppress; delete the comment",
+			})
+		}
+	}
+	return kept, suppressed
+}

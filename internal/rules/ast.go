@@ -31,6 +31,16 @@ type RuleDecl struct {
 	BreakerSet bool
 }
 
+// ClassOf maps each declared variable to its class (or scalar type)
+// name.
+func (d *RuleDecl) ClassOf() map[string]string {
+	out := make(map[string]string, len(d.Decls))
+	for _, v := range d.Decls {
+		out[v.Name] = v.Class
+	}
+	return out
+}
+
 // VarDecl binds a name in the rule's scope. Object declarations carry
 // a class and optionally a root name ("named"); scalar declarations
 // (int, float, string, bool) bind event parameters positionally.

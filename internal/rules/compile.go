@@ -329,6 +329,21 @@ func bindEnv(rc *eca.RuleCtx, d *RuleDecl, bindings []binding) (*env, error) {
 	return ev, nil
 }
 
+// Modes resolves the declaration's effective coupling modes, applying
+// the engine defaults: an unspecified action mode means detached, an
+// unspecified condition mode follows the action.
+func (d *RuleDecl) Modes() (cond, action eca.Coupling) {
+	action = parseMode(d.ActionMode)
+	if action == 0 {
+		action = eca.Detached
+	}
+	cond = parseMode(d.CondMode)
+	if cond == 0 {
+		cond = action
+	}
+	return cond, action
+}
+
 func parseMode(s string) eca.Coupling {
 	switch s {
 	case "imm", "immediate":

@@ -45,8 +45,24 @@ func (v *Vetter) Vet(file string, decls []*RuleDecl) []Diag {
 		rv.run(v)
 		out = append(out, rv.diags...)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	SortDiags(out)
 	return out
+}
+
+// SortDiags orders diagnostics by (file, line, rule name), the stable
+// presentation order shared by vet and the rule-set analysis so output
+// never depends on map iteration or input interleaving.
+func SortDiags(diags []Diag) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
 }
 
 // Vet is the single-file convenience wrapper around Vetter.
@@ -90,10 +106,7 @@ func (rv *ruleVet) run(v *Vetter) {
 // retry, and breaker machinery does not apply.
 func (rv *ruleVet) checkRobustness() {
 	d := rv.decl
-	action := parseMode(d.ActionMode)
-	if action == 0 {
-		action = eca.Detached
-	}
+	_, action := d.Modes()
 	if couplingOrd(action) >= 2 {
 		return
 	}
@@ -166,14 +179,7 @@ func (rv *ruleVet) checkCompositeAttrs() {
 func (rv *ruleVet) checkCoupling() {
 	d := rv.decl
 	cat := rv.category()
-	action := parseMode(d.ActionMode)
-	if action == 0 {
-		action = eca.Detached // the engine's default
-	}
-	cond := parseMode(d.CondMode)
-	if cond == 0 {
-		cond = action // condition runs in the action's mode when unspecified
-	}
+	cond, action := d.Modes()
 	if !eca.Supported(cat, cond) {
 		rv.errf("Table 1 rejects %v condition coupling on a %v event", cond, cat)
 	}

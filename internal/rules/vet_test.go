@@ -132,6 +132,82 @@ rule D {
 	wantDiag(t, diags, `variable "a" declared twice`)
 }
 
+// TestVetNestedNotTimes drives walkEvent through a deeply nested
+// not(times(...)) chain: variables bound (or misspelled) at the
+// innermost terminal must still be resolved against the decl list.
+func TestVetNestedNotTimes(t *testing.T) {
+	diags := vetSrc(t, `
+rule N {
+    decl S *s, int a;
+    event and(after s->read(a), not(times(2, after q->read(b))));
+    validity 10s;
+    action detached s->alarm();
+};`)
+	wantDiag(t, diags, `undeclared variable "q" referenced in event`)
+	wantDiag(t, diags, `undeclared variable "b" referenced in event`)
+
+	clean := vetSrc(t, `
+rule N {
+    decl S *s, int a, int b;
+    event and(after s->read(a), not(times(2, after s->read(b))));
+    validity 10s;
+    action detached s->alarm();
+};`)
+	if len(clean) != 0 {
+		t.Errorf("declared vars inside not(times(...)) still diagnosed: %v", clean)
+	}
+}
+
+// TestVetScalarOnlyInCompositeSub: a scalar declared once and
+// referenced only inside a composite sub-event (never in the
+// condition or action) counts as referenced — walkEvent must descend
+// through closure(seq(...)) to find the binding site.
+func TestVetScalarOnlyInCompositeSub(t *testing.T) {
+	diags := vetSrc(t, `
+rule Deep {
+    decl S *s, int hidden;
+    event closure(seq(after s->open(), after s->read(hidden)));
+    validity 1h;
+    action detached s->alarm();
+};`)
+	if len(diags) != 0 {
+		t.Errorf("scalar bound only in a nested sub-event diagnosed: %v", diags)
+	}
+}
+
+// TestVetDuplicateVarAcrossAndBranches: the same undeclared name
+// bound in two and() branches is reported once (the seen-set dedup),
+// while a declared variable rebound across branches is legal.
+func TestVetDuplicateVarAcrossAndBranches(t *testing.T) {
+	diags := vetSrc(t, `
+rule Dup {
+    decl S *s;
+    event and(after s->read(x), after s->write(x));
+    validity 10s;
+    action detached s->alarm();
+};`)
+	count := 0
+	for _, d := range diags {
+		if strings.Contains(d.Msg, `undeclared variable "x"`) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf(`undeclared "x" reported %d times, want exactly 1: %v`, count, diags)
+	}
+
+	clean := vetSrc(t, `
+rule Dup {
+    decl S *s, int x;
+    event and(after s->read(x), after s->write(x));
+    validity 10s;
+    action detached s->alarm();
+};`)
+	if len(clean) != 0 {
+		t.Errorf("declared var bound in both and() branches diagnosed: %v", clean)
+	}
+}
+
 func TestVetModeParity(t *testing.T) {
 	diags := vetSrc(t, `
 rule M {

@@ -40,6 +40,7 @@ import (
 	"repro/internal/oodb"
 	"repro/internal/query"
 	"repro/internal/rules"
+	"repro/internal/rules/analysis"
 	"repro/internal/txn"
 )
 
@@ -268,6 +269,9 @@ var NewVirtualClock = clock.NewVirtual
 // NewRealClock returns the wall-clock time source.
 var NewRealClock = clock.NewReal
 
+// RuleDecl is one parsed rule declaration.
+type RuleDecl = rules.RuleDecl
+
 // ParseRules parses rule-language source without registering anything
 // (syntax checking, e.g. for the rulec tool).
 func ParseRules(src string) ([]*rules.RuleDecl, error) { return rules.Parse(src) }
@@ -287,3 +291,42 @@ var NewRuleVetter = rules.NewVetter
 // composites without validity, unknown consumption policies, and
 // undeclared variable references.
 func VetRules(file string, decls []*rules.RuleDecl) []RuleDiag { return rules.Vet(file, decls) }
+
+// Whole-ruleset interaction analysis: the triggering graph connecting
+// rules through the events their actions raise, with termination
+// (cycle detection, static cascade-depth bound), confluence
+// (order-dependent equal-priority pairs), and reachability (rules
+// whose event can never be raised) checks. Embedders can gate rule
+// registration on RuleAnalysis.HasErrors before calling LoadRules.
+type (
+	// RuleAnalyzer accumulates rule files and analyzes them as one set.
+	RuleAnalyzer = analysis.Analyzer
+	// RuleAnalysis is the outcome: graph, findings, cycles, depth bound.
+	RuleAnalysis = analysis.Result
+	// RuleFinding is one analysis diagnostic.
+	RuleFinding = analysis.Finding
+	// RuleGraph is the triggering graph (DOT-exportable).
+	RuleGraph = analysis.Graph
+	// RuleWorld closes the analysis world to a known schema; nil means
+	// any method or attribute may be raised by application code.
+	RuleWorld = analysis.World
+	// RuleCycle is one termination cycle through the triggering graph.
+	RuleCycle = analysis.Cycle
+	// RuleSeverity ranks analysis findings.
+	RuleSeverity = analysis.Severity
+)
+
+// Analysis finding severities.
+const (
+	RuleWarning = analysis.Warning
+	RuleError   = analysis.Error
+)
+
+// NewRuleAnalyzer returns an empty whole-ruleset analyzer.
+var NewRuleAnalyzer = analysis.New
+
+// AnalyzeRules analyzes a single rule file against an optional closed
+// world (nil = open world).
+func AnalyzeRules(file, src string, decls []*rules.RuleDecl, w *RuleWorld) *RuleAnalysis {
+	return analysis.Analyze(file, src, decls, w)
+}
