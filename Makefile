@@ -1,8 +1,9 @@
 GO ?= go
 
-# BENCH is the committed perf-trajectory baseline; bump the suffix when
-# a PR intentionally changes the performance envelope.
-BENCH ?= BENCH_6.json
+# BENCH is the committed perf-trajectory baseline: the highest-numbered
+# BENCH_*.json in the repo, so a PR that commits a new baseline is
+# automatically diffed against it (no stale pin to hand-bump).
+BENCH ?= $(shell ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
 BENCH_N ?= 2000
 BENCH_TOLERANCE ?= 1.0
 
@@ -45,8 +46,9 @@ bench:
 	$(GO) run ./cmd/reachbench -n $(BENCH_N) -json $(BENCH) > /dev/null
 
 bench-diff:
-	$(GO) run ./cmd/reachbench -n $(BENCH_N) -json /tmp/bench-current.json > /dev/null
-	$(GO) run ./cmd/reachbench -diff -tolerance $(BENCH_TOLERANCE) $(BENCH) /tmp/bench-current.json
+	mkdir -p $(CURDIR)/.bench
+	$(GO) run ./cmd/reachbench -n $(BENCH_N) -json $(CURDIR)/.bench/bench-current.json > /dev/null
+	$(GO) run ./cmd/reachbench -diff -tolerance $(BENCH_TOLERANCE) $(BENCH) $(CURDIR)/.bench/bench-current.json
 
 # crash runs the crash-consistency matrix (every workload crashed at
 # every write/fsync boundary, clean and WAL-torn, with second crashes

@@ -26,7 +26,7 @@ func main() {
 		table1    = flag.Bool("table1", false, "regenerate Table 1 only")
 		figure1   = flag.Bool("figure1", false, "trace the Open OODB architecture (Figure 1)")
 		figure2   = flag.Bool("figure2", false, "trace the ECA message flow (Figure 2)")
-		run       = flag.String("run", "", "comma-separated experiment ids (E1..E12); empty = all")
+		run       = flag.String("run", "", "comma-separated experiment ids (E1..E13); empty = all")
 		n         = flag.Int("n", 5000, "events per measured configuration")
 		jsonOut   = flag.String("json", "", "write results to this BENCH_*.json perf-trajectory file")
 		diff      = flag.Bool("diff", false, "compare two BENCH_*.json files: reachbench -diff old.json new.json")
@@ -94,6 +94,9 @@ func main() {
 		}},
 		{"E11", "nested subtransaction overhead (§4, §6.4)", func() []bench.Row { return bench.RunE11(*n) }},
 		{"E12", "storage substrate: WAL, commit force, recovery", func() []bench.Row { return bench.RunE12(*n) }},
+		{"E13", "contended commit path: group commit vs fsync-per-commit (§6)", func() []bench.Row {
+			return bench.RunE13(8, *n/10)
+		}},
 	}
 	ids := make([]string, len(experiments))
 	for i, e := range experiments {

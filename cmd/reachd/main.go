@@ -45,6 +45,7 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures before a rule's circuit breaker trips (0 = default 5, negative disables)")
 	slowThreshold := flag.Duration("slow-threshold", 250*time.Millisecond, "promote traces slower than this into the slow log (0 disables)")
 	slowCap := flag.Int("slow-log", 0, "slow-log capacity (0 = default 64)")
+	noGroupCommit := flag.Bool("no-group-commit", false, "fsync every commit individually instead of batching concurrent forces (ablation / debugging)")
 	flag.Parse()
 
 	engineOpts := reach.EngineOptions{
@@ -59,7 +60,9 @@ func main() {
 	if *shed {
 		engineOpts.Overload = reach.OverloadShed
 	}
-	sys, err := reach.Open(reach.Options{Dir: *dir, Engine: engineOpts})
+	opts := reach.Options{Dir: *dir, Engine: engineOpts}
+	opts.DB.Storage.DisableGroupCommit = *noGroupCommit
+	sys, err := reach.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reachd:", err)
 		os.Exit(1)
@@ -352,6 +355,8 @@ func statsCmd(sys *reach.System, out io.Writer, args []string) {
 		ss := sys.DB.StorageStats()
 		fmt.Fprintf(out, "  storage: pages=%d buffer hits/misses=%d/%d wal-syncs=%d\n",
 			ss.Pages, ss.BufferHits, ss.BufferMiss, ss.WALSyncs)
+		fmt.Fprintf(out, "  group commit: requests=%d batches=%d batch-highwater=%d\n",
+			ss.GroupCommitRequests, ss.GroupCommitBatches, ss.GroupBatchHighwater)
 		return
 	}
 	switch args[0] {

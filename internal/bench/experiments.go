@@ -29,6 +29,11 @@ type Row struct {
 }
 
 func measure(experiment, config string, ops int, fn func()) Row {
+	// Settle the heap first: a garbage-heavy predecessor (E5 buffers
+	// hundreds of semi-composed occurrences) otherwise leaves its GC
+	// debt to be paid inside this measurement window, making rows
+	// depend on experiment order.
+	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -582,5 +587,139 @@ func RunE12(records int) []Row {
 		Extra:      fmt.Sprintf("recovered-records=%d in %v", live, elapsed),
 	})
 	st2.Close()
+	return rows
+}
+
+// RunE13 measures the contended raise→dispatch→commit path at g
+// concurrent goroutines — the convoys this repo's group-commit WAL,
+// striped lock table, and sharded histories exist to dissolve. Each
+// pair of configs is a within-run ablation: the same workload with
+// group commit on versus every committer forcing its own fsync.
+func RunE13(g, commits int) []Row {
+	var rows []Row
+	per := commits / g
+	if per < 1 {
+		per = 1
+	}
+
+	// Contended storage commits: g committers, one record each per
+	// transaction, durable at commit.
+	contended := func(disable bool) Row {
+		dir, err := os.MkdirTemp("", "reach-bench-e13")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := storage.Open(dir, storage.Options{DisableGroupCommit: disable})
+		if err != nil {
+			panic(err)
+		}
+		defer st.Close()
+		payload := make([]byte, 128)
+		label := "group commit"
+		if disable {
+			label = "fsync per commit (ablated)"
+		}
+		row := measure("E13-contention", fmt.Sprintf("contended commit, %d goroutines, %s", g, label), g*per, func() {
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						tid := uint64(1 + w*per + i)
+						st.Begin(tid)
+						st.Insert(tid, payload)
+						st.Commit(tid)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+		row.Extra = fmt.Sprintf("wal-syncs=%d", st.Stats().WALSyncs)
+		return row
+	}
+	rows = append(rows, contended(false), contended(true))
+
+	// Figure-2 flow under concurrency: the full raise→dispatch→commit
+	// round trip — monitored method events through the sentry, an
+	// immediate rule, a deferred rule drained at EOT, and a durable
+	// commit — with one sensor per goroutine so the lock table sees
+	// disjoint hot resources across stripes.
+	flow := func(disable bool) Row {
+		dir, err := os.MkdirTemp("", "reach-bench-e13-flow")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		vc := clock.NewVirtual(Epoch)
+		db, err := oodb.Open(oodb.Options{
+			Dir: dir, Clock: vc,
+			Storage: storage.Options{DisableGroupCommit: disable},
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := db.Dictionary().Register(sensorClass(true)); err != nil {
+			panic(err)
+		}
+		engine := eca.New(db, eca.Options{})
+		defer db.Close()
+		defer engine.Close()
+		if err := engine.AddRule(&eca.Rule{
+			Name: "flow-imm", EventKey: SensorPingAfter(), ActionMode: eca.Immediate,
+			Action: func(*eca.RuleCtx) error { return nil },
+		}); err != nil {
+			panic(err)
+		}
+		if err := engine.AddRule(&eca.Rule{
+			Name: "flow-def", EventKey: SensorPingAfter(), ActionMode: eca.Deferred,
+			Action: func(*eca.RuleCtx) error { return nil },
+		}); err != nil {
+			panic(err)
+		}
+		sensors := make([]*oodb.Object, g)
+		setup := db.Begin()
+		for i := range sensors {
+			obj, err := db.NewObject(setup, "Sensor")
+			if err != nil {
+				panic(err)
+			}
+			if err := db.Persist(setup, obj); err != nil {
+				panic(err)
+			}
+			sensors[i] = obj
+		}
+		if err := setup.Commit(); err != nil {
+			panic(err)
+		}
+		label := "group commit"
+		if disable {
+			label = "fsync per commit (ablated)"
+		}
+		row := measure("E13-contention", fmt.Sprintf("figure-2 flow, %d goroutines, %s", g, label), g*per, func() {
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						tx := db.Begin()
+						if _, err := db.Invoke(tx, sensors[w], "ping", int64(i)); err != nil {
+							tx.Abort()
+							continue
+						}
+						tx.Commit()
+					}
+				}()
+			}
+			wg.Wait()
+		})
+		row.Extra = fmt.Sprintf("wal-syncs=%d", db.StorageStats().WALSyncs)
+		return row
+	}
+	rows = append(rows, flow(false), flow(true))
 	return rows
 }

@@ -83,6 +83,7 @@ func (e *Engine) DefineComposite(decl *algebra.Composite) error {
 		pm := e.managerLocked(prim, kindOfKey(prim))
 		pm.mu.Lock()
 		pm.composers = append(pm.composers, cm)
+		pm.refreshComposersLocked()
 		pm.mu.Unlock()
 		if k := kindOfKey(prim); k == event.KindMethod || k == event.KindState {
 			subscribe = append(subscribe, prim)
@@ -129,10 +130,15 @@ func (cm *compositeMgr) refreshImmediateFlag() {
 // the acknowledgement, which is precisely the cost Table 1's "(N)"
 // refuses.
 func (e *Engine) propagate(m *Manager, in *event.Instance) {
-	m.mu.Lock()
-	composers := append([]*compositeMgr(nil), m.composers...)
-	m.mu.Unlock()
-	for _, cm := range composers {
+	cs := m.comps.Load()
+	if cs == nil || len(*cs) == 0 {
+		return
+	}
+	// Composers may hold the instance past this call (channel delivery,
+	// semi-composed state); pin it so a pooled instance is not recycled
+	// under them.
+	in.Retain()
+	for _, cm := range *cs {
 		cm.deliver(in)
 	}
 }

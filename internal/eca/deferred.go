@@ -39,6 +39,7 @@ func (e *Engine) deferredQueue(top *txn.Txn) *deferredQueue {
 // enqueueDeferred queues a whole rule for execution at the top-level
 // transaction's EOT.
 func (e *Engine) enqueueDeferred(top *txn.Txn, r *Rule, in *event.Instance) {
+	in.Retain() // read again at EOT, after the raiser's Recycle
 	q := e.deferredQueue(top)
 	q.mu.Lock()
 	q.entries = append(q.entries, deferredEntry{rule: r, in: in, at: e.clk.Now()})
@@ -48,6 +49,7 @@ func (e *Engine) enqueueDeferred(top *txn.Txn, r *Rule, in *event.Instance) {
 // enqueueDeferredAction queues only the action part (the condition was
 // evaluated immediately and held).
 func (e *Engine) enqueueDeferredAction(top *txn.Txn, r *Rule, in *event.Instance) {
+	in.Retain() // read again at EOT, after the raiser's Recycle
 	q := e.deferredQueue(top)
 	q.mu.Lock()
 	q.entries = append(q.entries, deferredEntry{rule: r, in: in, at: e.clk.Now(), actionOnly: true})

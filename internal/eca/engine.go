@@ -304,6 +304,11 @@ type Engine struct {
 	composites map[string]*compositeMgr
 	ruleSeq    uint64
 
+	// mgrSnap is a copy-on-write snapshot of managers, republished
+	// under e.mu on every registration, so the per-event lookup on the
+	// raise path is one atomic load instead of an RLock.
+	mgrSnap atomic.Pointer[map[string]*Manager]
+
 	seq atomic.Uint64
 
 	txnMu         sync.Mutex
@@ -314,7 +319,7 @@ type Engine struct {
 	cascadeMu    sync.Mutex
 	cascadeBound int // static bound from rule-set analysis; 0 = none
 
-	hist *globalHistory
+	hist *shardedHistory
 
 	exec   *executor
 	closed atomic.Bool
@@ -349,7 +354,7 @@ func New(db *oodb.DB, opts Options) *Engine {
 		composites:   make(map[string]*compositeMgr),
 		activeTxns:   make(map[uint64]*txn.Txn),
 		resolvedTxns: make(map[uint64]txn.Status),
-		hist:         newGlobalHistory(opts.GlobalHistorySize),
+		hist:         newShardedHistory(opts.GlobalHistorySize),
 		temporals:    make(map[*TemporalHandle]struct{}),
 		reg:          reg,
 		tracer:       tracer,
@@ -430,7 +435,52 @@ type Manager struct {
 	mu        sync.Mutex
 	rules     []*Rule
 	composers []*compositeMgr
-	local     *historyRing
+	local     *shardedHistory
+
+	// fires is the pre-resolved firing partition: the enabled rules
+	// split by coupling mode, rebuilt under mu whenever the rule list
+	// or an enabled flag changes, so the per-event dispatch is one
+	// atomic load with no copying. comps is the equivalent snapshot of
+	// the composite managers this event propagates to.
+	fires atomic.Pointer[ruleSet]
+	comps atomic.Pointer[[]*compositeMgr]
+}
+
+// ruleSet is an immutable partition of a manager's enabled rules by
+// condition-coupling mode, each slice in firing order.
+type ruleSet struct {
+	enabled   int
+	immediate []*Rule
+	deferred  []*Rule
+	detached  []*Rule
+}
+
+// refreshFiresLocked rebuilds the pre-resolved firing partition; the
+// caller holds m.mu.
+func (m *Manager) refreshFiresLocked() {
+	rs := &ruleSet{}
+	for _, r := range m.rules {
+		if r.Disabled {
+			continue
+		}
+		rs.enabled++
+		switch r.condMode() {
+		case Immediate:
+			rs.immediate = append(rs.immediate, r)
+		case Deferred:
+			rs.deferred = append(rs.deferred, r)
+		default:
+			rs.detached = append(rs.detached, r)
+		}
+	}
+	m.fires.Store(rs)
+}
+
+// refreshComposersLocked republishes the composite-manager snapshot;
+// the caller holds m.mu.
+func (m *Manager) refreshComposersLocked() {
+	snap := append([]*compositeMgr(nil), m.composers...)
+	m.comps.Store(&snap)
 }
 
 // Key returns the spec key the manager is dedicated to.
@@ -444,29 +494,36 @@ func (m *Manager) Rules() []*Rule {
 }
 
 // LocalHistory returns the manager's local event history, oldest
-// first.
+// first. The sharded rings synchronize themselves.
 func (m *Manager) LocalHistory() []HistoryEntry {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.local.entries()
 }
 
 // managerLocked returns (creating if needed) the ECA-manager for a
-// key; the caller holds e.mu.
+// key; the caller holds e.mu. A new manager republishes the
+// copy-on-write lookup snapshot.
 func (e *Engine) managerLocked(key string, kind event.Kind) *Manager {
 	if m, ok := e.managers[key]; ok {
 		return m
 	}
-	m := &Manager{key: key, kind: kind, local: newHistoryRing(e.opts.LocalHistorySize)}
+	m := &Manager{key: key, kind: kind, local: newShardedHistory(e.opts.LocalHistorySize)}
 	e.managers[key] = m
+	snap := make(map[string]*Manager, len(e.managers))
+	for k, v := range e.managers {
+		snap[k] = v
+	}
+	e.mgrSnap.Store(&snap)
 	return m
 }
 
-// lookupManager returns the manager for key, or nil.
+// lookupManager returns the manager for key, or nil. It reads the
+// copy-on-write snapshot: one atomic load on the raise path.
 func (e *Engine) lookupManager(key string) *Manager {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.managers[key]
+	snap := e.mgrSnap.Load()
+	if snap == nil {
+		return nil
+	}
+	return (*snap)[key]
 }
 
 // Managers reports the number of registered ECA-managers.
@@ -539,6 +596,7 @@ func (e *Engine) AddRule(r *Rule) error {
 	m.rules = append(m.rules, r)
 	tb := e.opts.TieBreak
 	sort.SliceStable(m.rules, func(i, j int) bool { return ruleLess(m.rules[i], m.rules[j], tb) })
+	m.refreshFiresLocked()
 	m.mu.Unlock()
 
 	// Subscribe the sentry so the database starts delivering.
@@ -573,6 +631,7 @@ func (e *Engine) RemoveRule(eventKey, name string) bool {
 			break
 		}
 	}
+	m.refreshFiresLocked()
 	m.mu.Unlock()
 	if !found {
 		return false
@@ -709,9 +768,7 @@ func (e *Engine) record(m *Manager, in *event.Instance) {
 		e.hist.append(entry)
 		return
 	}
-	m.mu.Lock()
 	m.local.append(entry)
-	m.mu.Unlock()
 }
 
 // fireRules runs the manager's rules for one occurrence, routing each
@@ -720,16 +777,8 @@ func (e *Engine) record(m *Manager, in *event.Instance) {
 // immediately); deferred rules are queued on the triggering top-level
 // transaction; detached rules spawn.
 func (e *Engine) fireRules(m *Manager, in *event.Instance, trigger *txn.Txn) error {
-	m.mu.Lock()
-	rules := append([]*Rule(nil), m.rules...)
-	m.mu.Unlock()
-	enabled := 0
-	for _, r := range rules {
-		if !r.Disabled {
-			enabled++
-		}
-	}
-	if enabled == 0 {
+	rs := m.fires.Load()
+	if rs == nil || rs.enabled == 0 {
 		return nil
 	}
 	// The cascade-depth guard: an event this deep may not fire further
@@ -740,32 +789,24 @@ func (e *Engine) fireRules(m *Manager, in *event.Instance, trigger *txn.Txn) err
 		e.met.cascadeTrips.Inc()
 		e.span(in.Trace, "cascade-depth", in.SpecKey, e.clk.Now())
 		return fmt.Errorf("eca: event %s at cascade depth %d would fire %d rule(s) past the bound %d: %w",
-			in.SpecKey, in.Depth, enabled, limit, ErrCascadeDepth)
+			in.SpecKey, in.Depth, rs.enabled, limit, ErrCascadeDepth)
 	}
 	e.met.cascadeHigh.SetMax(int64(in.Depth))
-	var immediate []*Rule
-	for _, r := range rules {
-		if r.Disabled {
-			continue
+	for _, r := range rs.deferred {
+		if trigger == nil {
+			return fmt.Errorf("eca: rule %s: deferred coupling but no active transaction", r.Name)
 		}
-		switch r.condMode() {
-		case Immediate:
-			immediate = append(immediate, r)
-		case Deferred:
-			if trigger == nil {
-				return fmt.Errorf("eca: rule %s: deferred coupling but no active transaction", r.Name)
-			}
-			e.enqueueDeferred(trigger.Top(), r, in)
-		default:
-			e.spawnDetached(r, in)
-		}
+		e.enqueueDeferred(trigger.Top(), r, in)
 	}
-	if len(immediate) == 0 {
+	for _, r := range rs.detached {
+		e.spawnDetached(r, in)
+	}
+	if len(rs.immediate) == 0 {
 		return nil
 	}
-	e.met.firedImmediate.Add(uint64(len(immediate)))
+	e.met.firedImmediate.Add(uint64(len(rs.immediate)))
 	start := e.clk.Now()
-	err := e.runRuleSet(immediate, in, trigger)
+	err := e.runRuleSet(rs.immediate, in, trigger)
 	e.met.latImmediate.Observe(e.clk.Now().Sub(start))
 	return err
 }

@@ -459,6 +459,7 @@ func (x *executor) backoff(attempt int) bool {
 // that "may begin in parallel" (§3.2), then admission under the
 // overload policy. Only accepted firings count as fired.
 func (e *Engine) spawnDetached(r *Rule, in *event.Instance) {
+	in.Retain() // the detached worker reads it after the raiser returns
 	x := e.exec
 	if x.breakerOpen(r.Name) {
 		e.met.rejBreaker.Inc()

@@ -3,6 +3,7 @@ package eca
 import (
 	"sort"
 	"sync"
+	"sync/atomic" //lint:allow rawatomics history shard round-robin counter, not metrics
 	"time"
 )
 
@@ -60,29 +61,80 @@ func (r *historyRing) forTxn(id uint64) []HistoryEntry {
 	return out
 }
 
-// globalHistory is the consolidated history. In the REACH design it is
-// maintained by a background process after a transaction has committed
-// or aborted; in the central mode every occurrence is logged here
-// synchronously (the bottleneck of §6.3).
-type globalHistory struct {
+// historyShards is the maximum number of partitions a sharded history
+// splits into. A power of two so shard selection is a mask.
+const historyShards = 8
+
+// shardedHistory is a history split across up to historyShards ring
+// shards, each behind its own mutex, so concurrent recorders on the
+// raise path do not serialize on one history lock — the §6.3 argument
+// against a central log, applied a second time inside each history.
+// Appends distribute round-robin; the shard count is the largest
+// power-of-two divisor of the capacity (≤ historyShards), which keeps
+// the eviction contract exact: the union of the shards always holds
+// precisely the most recent capacity appends. Readers consolidate by
+// merging the shards and sorting by Seq — reads are the slow path.
+type shardedHistory struct {
+	ctr    atomic.Uint64
+	mask   uint64
+	shards []historyShard
+}
+
+type historyShard struct {
 	mu   sync.Mutex
 	ring *historyRing
+	// pad keeps neighbouring shards off one cache line so round-robin
+	// writers do not false-share.
+	_ [40]byte
 }
 
-func newGlobalHistory(capacity int) *globalHistory {
-	return &globalHistory{ring: newHistoryRing(capacity)}
+func newShardedHistory(capacity int) *shardedHistory {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := historyShards
+	for capacity%n != 0 {
+		n /= 2
+	}
+	h := &shardedHistory{mask: uint64(n - 1), shards: make([]historyShard, n)}
+	for i := range h.shards {
+		h.shards[i].ring = newHistoryRing(capacity / n)
+	}
+	return h
 }
 
-func (g *globalHistory) append(e HistoryEntry) {
-	g.mu.Lock()
-	g.ring.append(e)
-	g.mu.Unlock()
+func (h *shardedHistory) append(e HistoryEntry) {
+	s := &h.shards[h.ctr.Add(1)&h.mask]
+	s.mu.Lock()
+	s.ring.append(e)
+	s.mu.Unlock()
 }
 
-func (g *globalHistory) entries() []HistoryEntry {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.ring.entries()
+// entries consolidates the shards into one Seq-ordered slice.
+func (h *shardedHistory) entries() []HistoryEntry {
+	var out []HistoryEntry
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		out = append(out, s.ring.entries()...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// forTxn consolidates the shards' entries belonging to one
+// transaction, Seq-ordered.
+func (h *shardedHistory) forTxn(id uint64) []HistoryEntry {
+	var out []HistoryEntry
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		out = append(out, s.ring.forTxn(id)...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 // GlobalHistory returns the consolidated event history, oldest first.
@@ -106,9 +158,7 @@ func (e *Engine) consolidateHistory(txnID uint64) {
 	e.mu.RUnlock()
 	var entries []HistoryEntry
 	for _, m := range managers {
-		m.mu.Lock()
 		entries = append(entries, m.local.forTxn(txnID)...)
-		m.mu.Unlock()
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
 	for _, en := range entries {

@@ -65,6 +65,7 @@ func (e *Engine) SetRuleEnabled(eventKey, name string, enabled bool) bool {
 			found = true
 		}
 	}
+	m.refreshFiresLocked()
 	m.mu.Unlock()
 	if found && kindOfKey(eventKey) == eventKindComposite {
 		e.mu.RLock()

@@ -1,0 +1,105 @@
+package crash
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/storage"
+)
+
+// runGroupCommit races n committers against a store on fs, each
+// inserting one record and committing. It returns the payloads of
+// every transaction whose Commit returned nil — the durability
+// promises recovery must honor no matter where the crash landed,
+// including between a group-commit leader's fsync and the release of
+// its followers.
+func runGroupCommit(fs *fault.ShadowFS, n int) ([]string, error) {
+	st, err := storage.Open(storeDir, storeOptions(fs))
+	if err != nil {
+		if fs.Crashed() {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("open: %w", err)
+	}
+	var mu sync.Mutex
+	var committed []string
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			txn := uint64(i + 1)
+			if st.Begin(txn) != nil {
+				return // store poisoned by an earlier crash-hit commit
+			}
+			v := val(100+i, 1)
+			if _, err := st.Insert(txn, []byte(v)); err != nil {
+				return
+			}
+			if st.Commit(txn) == nil {
+				mu.Lock()
+				committed = append(committed, v)
+				mu.Unlock()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if !fs.Crashed() {
+		_ = st.Close()
+	}
+	return committed, nil
+}
+
+// TestGroupCommitCrashDurability sweeps a crash across every write
+// boundary of a concurrent group-committed workload and asserts the
+// core promise batching must not weaken: a Commit that reported
+// success survives recovery. A follower released by a leader's fsync
+// has its record on disk by definition — this test is the proof.
+func TestGroupCommitCrashDurability(t *testing.T) {
+	const committers = 6
+
+	// Dry run to size the boundary sweep.
+	dry := fault.NewShadowFS()
+	if _, err := runGroupCommit(dry, committers); err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	boundaries := dry.WriteOps()
+	if boundaries == 0 {
+		t.Fatal("dry run produced no write boundaries")
+	}
+
+	for i := 0; i < boundaries; i++ {
+		fs := fault.NewShadowFS()
+		fs.CrashAfter(i, "")
+		committed, err := runGroupCommit(fs, committers)
+		if err != nil {
+			t.Fatalf("boundary %d: %v", i, err)
+		}
+		fs.Crash() // drop everything never fsynced
+
+		clean := fs.Clone()
+		st, err := storage.Open(storeDir, storeOptions(clean))
+		if err != nil {
+			t.Fatalf("boundary %d: recovery open: %v", i, err)
+		}
+		survived := make(map[string]bool)
+		if err := st.Scan(func(_ storage.RID, data []byte) {
+			survived[string(data)] = true
+		}); err != nil {
+			t.Fatalf("boundary %d: post-recovery scan: %v", i, err)
+		}
+		st.Close()
+		for _, v := range committed {
+			if !survived[v] {
+				t.Fatalf("boundary %d: commit reported durable but recovery lost it (%s); %d/%d commits returned nil",
+					i, v[:10], len(committed), committers)
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ package sentry
 
 import (
 	"sync"
+	"sync/atomic" //lint:allow rawatomics copy-on-write subscription snapshot, not metrics
 	"time"
 
 	"repro/internal/event"
@@ -44,8 +45,14 @@ func (f ConsumerFunc) Consume(in *event.Instance) error { return f(in) }
 type Dispatcher struct {
 	consumer Consumer
 
-	mu   sync.RWMutex
+	// mu guards the writer-side subscription table. Readers never take
+	// it: every mutation republishes snap, a copy-on-write map from
+	// spec key to enabled, so Wants — called on every operation of
+	// every monitored class, subscriber or not — is one atomic load
+	// and one map read with no lock traffic between raisers.
+	mu   sync.Mutex
 	subs map[string]*subscription
+	snap atomic.Pointer[map[string]bool]
 
 	// Overhead-class counters. Standalone by default; Instrument
 	// rebinds them into a shared registry so they are one source of
@@ -96,6 +103,16 @@ func (d *Dispatcher) Instrument(reg *obs.Registry, tracer *obs.Tracer, now func(
 	}
 }
 
+// refreshLocked republishes the read-side snapshot; the caller holds
+// d.mu.
+func (d *Dispatcher) refreshLocked() {
+	snap := make(map[string]bool, len(d.subs))
+	for k, s := range d.subs {
+		snap[k] = !s.disabled
+	}
+	d.snap.Store(&snap)
+}
+
 // Subscribe registers interest in the spec key (reference counted).
 func (d *Dispatcher) Subscribe(specKey string) {
 	d.mu.Lock()
@@ -106,6 +123,7 @@ func (d *Dispatcher) Subscribe(specKey string) {
 		d.subs[specKey] = s
 	}
 	s.refs++
+	d.refreshLocked()
 }
 
 // Unsubscribe drops one reference to the spec key.
@@ -120,6 +138,7 @@ func (d *Dispatcher) Unsubscribe(specKey string) {
 	if s.refs <= 0 {
 		delete(d.subs, specKey)
 	}
+	d.refreshLocked()
 }
 
 // SetEnabled toggles delivery for an existing subscription without
@@ -131,19 +150,23 @@ func (d *Dispatcher) SetEnabled(specKey string, enabled bool) {
 	if s := d.subs[specKey]; s != nil {
 		s.disabled = !enabled
 	}
+	d.refreshLocked()
 }
 
 // Wants implements the database Sink pre-check. It is the sentry's
-// fast path and must stay cheap.
+// fast path and must stay cheap: one snapshot load, no locks.
 func (d *Dispatcher) Wants(specKey string) bool {
-	d.mu.RLock()
-	s := d.subs[specKey]
-	d.mu.RUnlock()
-	if s == nil {
+	snap := d.snap.Load()
+	if snap == nil {
 		d.useless.Inc()
 		return false
 	}
-	if s.disabled {
+	enabled, ok := (*snap)[specKey]
+	switch {
+	case !ok:
+		d.useless.Inc()
+		return false
+	case !enabled:
 		d.potentially.Inc()
 		return false
 	}
@@ -175,7 +198,7 @@ func (d *Dispatcher) ResetStats() {
 
 // Subscriptions reports the number of live subscription keys.
 func (d *Dispatcher) Subscriptions() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return len(d.subs)
 }

@@ -25,6 +25,11 @@ type Options struct {
 	// are opened through. Nil selects the real filesystem; the
 	// crash-consistency harness substitutes a fault.ShadowFS.
 	FS fault.FS
+	// DisableGroupCommit makes every committer force its own fsync
+	// instead of batching behind a group-commit leader. It exists as
+	// the ablation switch for the contention experiments (E13); leave
+	// it false everywhere else.
+	DisableGroupCommit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -360,7 +365,8 @@ func (s *Store) Commit(txn uint64) error {
 		s.mu.Unlock()
 		return err
 	}
-	if _, err := s.wal.Append(&LogRecord{Txn: txn, Kind: LogCommit, RID: InvalidRID}); err != nil {
+	lsn, err := s.wal.Append(&LogRecord{Txn: txn, Kind: LogCommit, RID: InvalidRID})
+	if err != nil {
 		// Nothing was forced yet; the transaction stays active and the
 		// caller may abort it.
 		s.mu.Unlock()
@@ -374,7 +380,14 @@ func (s *Store) Commit(txn uint64) error {
 	if !sync {
 		return nil
 	}
-	if err := s.wal.Sync(); err != nil {
+	// Group commit: the force targets this commit record's LSN, so
+	// concurrent committers share one leader's fsync instead of queueing
+	// one fsync each behind wal.mu.
+	force := s.wal.SyncTo
+	if s.opts.DisableGroupCommit {
+		force = func(uint64) error { return s.wal.Sync() }
+	}
+	if err := force(lsn); err != nil {
 		s.mu.Lock()
 		if s.poison == nil {
 			s.poison = fmt.Errorf("%w: txn %d: %v", ErrInDoubt, txn, err)
@@ -432,10 +445,14 @@ func (s *Store) Abort(txn uint64) (map[RID]RID, error) {
 	}
 	delete(s.active, txn)
 	s.releaseStealLocked(st.pages)
-	if len(st.ops) > 0 {
+	if len(st.ops) > 0 && *s.opts.SyncOnCommit {
 		// The undo was logged as system records; make them durable so
 		// the post-abort state (including any relocated committed
-		// records callers were handed) survives a crash.
+		// records callers were handed) survives a crash. When the store
+		// runs without commit forcing, aborts must not fsync either:
+		// recovery replays the system records from whatever prefix of
+		// the log reached the disk, so the force is a durability
+		// preference, not a correctness requirement.
 		if err := s.wal.Sync(); err != nil {
 			return reloc, err
 		}
@@ -624,6 +641,14 @@ type Stats struct {
 	WALNextLSN  uint64
 	ActiveTxns  int
 	FramesAlive int
+	// Group-commit effectiveness: how many commit forces were
+	// requested (requests/WALSyncs is the amortization factor), how
+	// many follower batches a leader released, and the largest such
+	// batch. Uncontended forces never park a follower, so the batch
+	// counters stay zero on a serial workload.
+	GroupCommitRequests uint64
+	GroupCommitBatches  uint64
+	GroupBatchHighwater int64
 }
 
 // Stats returns a snapshot of storage counters.
@@ -632,14 +657,18 @@ func (s *Store) Stats() Stats {
 	active := len(s.active)
 	s.mu.Unlock()
 	hits, misses := s.pool.Stats()
+	reqs, batches, high := s.wal.GroupCommitStats()
 	return Stats{
-		Pages:       s.pager.NumPages(),
-		BufferHits:  hits,
-		BufferMiss:  misses,
-		WALSyncs:    s.wal.Syncs(),
-		WALNextLSN:  s.wal.NextLSN(),
-		ActiveTxns:  active,
-		FramesAlive: s.pool.Len(),
+		Pages:               s.pager.NumPages(),
+		BufferHits:          hits,
+		BufferMiss:          misses,
+		WALSyncs:            s.wal.Syncs(),
+		WALNextLSN:          s.wal.NextLSN(),
+		ActiveTxns:          active,
+		FramesAlive:         s.pool.Len(),
+		GroupCommitRequests: reqs,
+		GroupCommitBatches:  batches,
+		GroupBatchHighwater: high,
 	}
 }
 

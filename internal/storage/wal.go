@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"runtime"
 	"sync"
 
 	"repro/internal/fault"
@@ -75,6 +76,15 @@ type WAL struct {
 	// one; the log refuses further traffic instead.
 	ioErr error
 
+	// Group-commit state, guarded by gmu — a separate mutex so joining
+	// a batch never waits behind the leader's I/O. Lock order: gmu is
+	// released before w.mu is taken (SyncTo), and w.mu holders may take
+	// gmu (Sync, Reset) because nobody waits for w.mu while holding gmu.
+	gmu     sync.Mutex
+	durable uint64     // highest LSN known forced to stable storage
+	leading bool       // a SyncTo leader is performing fsync rounds
+	pending *syncBatch // followers parked for the leader's next round
+
 	// syncs counts fsyncs so Stats can report the effect of group
 	// commit; appendDur is the append (serialize + buffer) latency;
 	// flushDur/fsyncDur split a Sync into its buffered-flush and
@@ -84,6 +94,23 @@ type WAL struct {
 	appendDur *obs.Histogram
 	flushDur  *obs.Histogram
 	fsyncDur  *obs.Histogram
+
+	// Group-commit accounting: requests satisfied, follower batches
+	// released, and the largest batch seen (average batch size is
+	// groupReqs/syncs).
+	groupReqs    *obs.Counter
+	groupBatches *obs.Counter
+	batchHigh    *obs.Gauge
+}
+
+// syncBatch parks SyncTo followers while a leader runs fsync rounds.
+// done is closed when the batch's fate is known; err is the batch
+// outcome and must only be read after done is closed.
+type syncBatch struct {
+	done   chan struct{}
+	err    error
+	maxLSN uint64
+	n      int64
 }
 
 // OpenWAL opens (creating if necessary) the log file at path on the
@@ -101,10 +128,13 @@ func OpenWALFS(fs fault.FS, path string) (*WAL, error) {
 	}
 	w := &WAL{
 		f: f, path: path, nextLSN: 1,
-		syncs:     new(obs.Counter),
-		appendDur: new(obs.Histogram),
-		flushDur:  new(obs.Histogram),
-		fsyncDur:  new(obs.Histogram),
+		syncs:        new(obs.Counter),
+		appendDur:    new(obs.Histogram),
+		flushDur:     new(obs.Histogram),
+		fsyncDur:     new(obs.Histogram),
+		groupReqs:    new(obs.Counter),
+		groupBatches: new(obs.Counter),
+		batchHigh:    new(obs.Gauge),
 	}
 	// Scan to find the end of the valid prefix; truncate any torn tail.
 	validEnd := int64(0)
@@ -125,6 +155,7 @@ func OpenWALFS(fs fault.FS, path string) (*WAL, error) {
 		return nil, err
 	}
 	w.w = bufio.NewWriterSize(f, 1<<16)
+	w.durable = w.nextLSN - 1 // everything scanned from disk is stable
 	return w, nil
 }
 
@@ -139,6 +170,12 @@ func (w *WAL) Instrument(reg *obs.Registry) {
 		"WAL buffered-writer flush latency during Sync.")
 	w.fsyncDur = reg.Histogram("reach_wal_fsync_seconds",
 		"WAL fsync (force to stable storage) latency during Sync.")
+	w.groupReqs = reg.Counter("reach_wal_group_commit_requests_total",
+		"SyncTo requests satisfied (group-commit committers; divide by reach_wal_syncs_total for the mean batch size).")
+	w.groupBatches = reg.Counter("reach_wal_group_commit_batches_total",
+		"Follower batches released by a group-commit leader.")
+	w.batchHigh = reg.Gauge("reach_wal_group_commit_batch_highwater",
+		"Largest follower batch released by one group-commit round.")
 }
 
 // Append writes rec to the log, assigning and returning its LSN. The
@@ -172,11 +209,126 @@ func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 // Sync flushes buffered records and forces the log to stable storage.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.syncLocked()
+	covered := w.nextLSN - 1
+	err := w.syncLocked()
+	w.mu.Unlock()
+	if err == nil {
+		w.advanceDurable(covered)
+	}
+	return err
+}
+
+// advanceDurable raises the durable frontier to covered (monotone).
+func (w *WAL) advanceDurable(covered uint64) {
+	w.gmu.Lock()
+	if covered > w.durable {
+		w.durable = covered
+	}
+	w.gmu.Unlock()
+}
+
+// SyncTo forces the log through at least lsn to stable storage. It is
+// the group-commit entry point: concurrent callers elect one leader
+// that performs the buffered flush + fsync and releases every caller
+// whose LSN the round covered, amortizing one fsync across the batch.
+// Callers that arrive while a round is in flight park on a pending
+// batch served by the leader's next round. An error from a round is
+// returned to every caller it might have covered: the batch cannot
+// tell whose records reached stable storage, so all of them must treat
+// the outcome as in-doubt — exactly the contract Store.Commit needs.
+func (w *WAL) SyncTo(lsn uint64) error {
+	defer w.groupReqs.Inc()
+	w.gmu.Lock()
+	if lsn <= w.durable {
+		// A previous round already forced this LSN; free ride.
+		w.gmu.Unlock()
+		return nil
+	}
+	if w.leading {
+		// A leader is mid-round: join (or form) the pending batch and
+		// park until a round covers us.
+		b := w.pending
+		if b == nil {
+			b = &syncBatch{done: make(chan struct{})}
+			w.pending = b
+		}
+		if lsn > b.maxLSN {
+			b.maxLSN = lsn
+		}
+		b.n++
+		w.gmu.Unlock()
+		<-b.done
+		return b.err
+	}
+	w.leading = true
+	var firstErr error
+	for first := true; ; first = false {
+		w.gmu.Unlock()
+		// Let runnable committers append their records and park in the
+		// pending batch before this round captures its frontier: without
+		// the yield a fresh leader fsyncs alone while the previous
+		// round's followers are still waiting for the scheduler, and the
+		// batch size collapses to 1-2 under a single-CPU convoy. On an
+		// uncontended log this is one scheduler call.
+		runtime.Gosched()
+		w.mu.Lock()
+		covered := w.nextLSN - 1
+		err := w.flushLocked()
+		w.mu.Unlock()
+		if err == nil {
+			// The fsync runs off w.mu: committers keep appending (and
+			// joining the pending batch) while the disk works, which is
+			// what lets one round absorb a whole convoy.
+			err = w.fsync()
+		}
+		w.gmu.Lock()
+		if err == nil && covered > w.durable {
+			w.durable = covered
+		}
+		if first {
+			// The first round always covers the leader's own LSN (its
+			// record was appended before the call); later rounds run on
+			// behalf of followers and do not change the leader's fate.
+			firstErr = err
+		}
+		if b := w.pending; b != nil {
+			switch {
+			case b.maxLSN <= w.durable:
+				// The round (or an earlier one) covered the whole batch.
+				w.pending = nil
+				w.groupBatches.Inc()
+				w.batchHigh.SetMax(b.n)
+				close(b.done)
+			case err != nil:
+				// The round failed with follower records possibly in the
+				// failed flush: every follower goes in-doubt with it.
+				w.pending = nil
+				w.groupBatches.Inc()
+				w.batchHigh.SetMax(b.n)
+				b.err = err
+				close(b.done)
+			}
+			// Otherwise followers joined after covered was captured; run
+			// another round for them.
+		}
+		if w.pending == nil {
+			w.leading = false
+			w.gmu.Unlock()
+			return firstErr
+		}
+	}
 }
 
 func (w *WAL) syncLocked() error {
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	return w.fsync()
+}
+
+// flushLocked drains the buffered writer into the file; the caller
+// holds w.mu.
+func (w *WAL) flushLocked() error {
 	if w.ioErr != nil {
 		return fmt.Errorf("storage: wal damaged by earlier append failure: %w", w.ioErr)
 	}
@@ -186,14 +338,19 @@ func (w *WAL) syncLocked() error {
 	stopFlush := w.flushDur.Time()
 	err := w.w.Flush()
 	stopFlush()
-	if err != nil {
-		return err
-	}
+	return err
+}
+
+// fsync forces the file to stable storage. It needs no lock: the
+// caller must already have flushed the records it cares about, and the
+// file handle tolerates a concurrent flush — any extra bytes the sync
+// happens to cover become durable early, which is harmless.
+func (w *WAL) fsync() error {
 	if fp := fault.Hit(fault.SiteWALSync); fp != nil {
 		return fmt.Errorf("storage: wal fsync: %w", fp.Err)
 	}
 	stopSync := w.fsyncDur.Time()
-	err = w.f.Sync()
+	err := w.f.Sync()
 	stopSync()
 	if err != nil {
 		return err
@@ -206,6 +363,13 @@ func (w *WAL) syncLocked() error {
 // benchmarks.
 func (w *WAL) Syncs() uint64 {
 	return w.syncs.Value()
+}
+
+// GroupCommitStats reports the group-commit counters: force
+// requests, follower batches released by a leader, and the largest
+// such batch. requests divided by Syncs() is the amortization factor.
+func (w *WAL) GroupCommitStats() (requests, batches uint64, highwater int64) {
+	return w.groupReqs.Value(), w.groupBatches.Value(), w.batchHigh.Value()
 }
 
 // NextLSN reports the LSN the next appended record will receive.
@@ -247,7 +411,14 @@ func (w *WAL) Reset(keepLSN uint64) error {
 	if keepLSN >= w.nextLSN {
 		w.nextLSN = keepLSN + 1
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	// The truncated log holds nothing, and the checkpoint that
+	// triggered the reset made every earlier LSN stable in the data
+	// file: the durable frontier jumps to the end.
+	w.advanceDurable(w.nextLSN - 1)
+	return nil
 }
 
 // Close flushes and closes the log. The file handle is closed even

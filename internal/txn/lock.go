@@ -3,6 +3,8 @@ package txn
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // LockMode is the strength of a lock request.
@@ -22,19 +24,46 @@ func (m LockMode) String() string {
 	return "X"
 }
 
+// lockStripes is the number of independent lock-table partitions. A
+// power of two so the stripe index is a shift of the mixed hash.
+const lockStripes = 64
+
 // lockTable is a strict two-phase lock manager with Moss-style rules
 // for nested transactions: a subtransaction may acquire a lock whose
 // conflicting holders are all its ancestors, and on subtransaction
-// commit its locks are inherited by the parent. Deadlocks are detected
-// eagerly on the waits-for graph; the requester that would close a
-// cycle receives ErrDeadlock.
+// commit its locks are inherited by the parent.
+//
+// The table is striped: resources hash across lockStripes partitions,
+// each with its own mutex, so grants and releases on unrelated
+// resources never serialize. Deadlock detection stays global — blocked
+// requests record edges in one waits-for graph guarded by wfMu, and
+// the cycle check (DFS) runs under wfMu alone, so grant/release on
+// other stripes never queue behind it. The requester that would close
+// a cycle receives ErrDeadlock.
+//
+// Lock order: a stripe mutex may be held when wfMu is taken; wfMu is
+// never held while a stripe mutex is taken, and no two stripe mutexes
+// are ever held together.
 type lockTable struct {
-	mu    sync.Mutex
-	locks map[uint64]*lockState
+	stripes [lockStripes]lockStripe
+
+	// wfMu guards the global waits-for graph and the queued-on index.
+	wfMu sync.Mutex
 	// waitsFor maps a blocked transaction to the holders it waits on.
 	waitsFor map[*Txn]map[*Txn]bool
-	// held maps a transaction to the resources it holds.
-	held map[*Txn]map[uint64]LockMode
+	// waitingOn maps a blocked transaction to the resources it is
+	// queued on, so releaseAll purges exactly those stripes instead of
+	// scanning the whole table.
+	waitingOn map[*Txn]map[uint64]bool
+
+	// contention counts stripe-mutex acquisitions that found the stripe
+	// already locked. Standalone by default; rebound by Instrument.
+	contention *obs.Counter
+}
+
+type lockStripe struct {
+	mu    sync.Mutex
+	locks map[uint64]*lockState
 }
 
 type lockState struct {
@@ -49,11 +78,30 @@ type lockWaiter struct {
 }
 
 func newLockTable() *lockTable {
-	return &lockTable{
-		locks:    make(map[uint64]*lockState),
-		waitsFor: make(map[*Txn]map[*Txn]bool),
-		held:     make(map[*Txn]map[uint64]LockMode),
+	lt := &lockTable{
+		waitsFor:   make(map[*Txn]map[*Txn]bool),
+		waitingOn:  make(map[*Txn]map[uint64]bool),
+		contention: new(obs.Counter),
 	}
+	for i := range lt.stripes {
+		lt.stripes[i].locks = make(map[uint64]*lockState)
+	}
+	return lt
+}
+
+// stripe selects the partition owning res. Fibonacci mixing spreads
+// sequential OIDs (the common allocation pattern) across stripes.
+func (lt *lockTable) stripe(res uint64) *lockStripe {
+	return &lt.stripes[(res*0x9E3779B97F4A7C15)>>(64-6)]
+}
+
+// lockStripe locks st, counting the acquisitions that contended.
+func (lt *lockTable) lockStripe(st *lockStripe) {
+	if st.mu.TryLock() {
+		return
+	}
+	lt.contention.Inc()
+	st.mu.Lock()
 }
 
 // compatible reports whether t may be granted mode on ls.
@@ -74,26 +122,30 @@ func (ls *lockState) compatible(t *Txn, mode LockMode) bool {
 }
 
 func (lt *lockTable) acquire(t *Txn, res uint64, mode LockMode) error {
-	lt.mu.Lock()
-	ls := lt.locks[res]
+	st := lt.stripe(res)
+	lt.lockStripe(st)
+	ls := st.locks[res]
 	if ls == nil {
 		ls = &lockState{holders: make(map[*Txn]LockMode)}
-		lt.locks[res] = ls
+		st.locks[res] = ls
 	}
 	// Already held at sufficient strength?
 	if hm, ok := ls.holders[t]; ok {
 		if hm == LockExclusive || mode == LockShared {
-			lt.mu.Unlock()
+			st.mu.Unlock()
 			return nil
 		}
 		// Upgrade S→X: must wait for other non-ancestor holders to go.
 	}
 	if ls.compatible(t, mode) && (len(ls.queue) == 0 || ls.holders[t] != 0) {
 		lt.grantLocked(ls, t, res, mode)
-		lt.mu.Unlock()
+		st.mu.Unlock()
 		return nil
 	}
-	// Must wait: record waits-for edges and check for a cycle.
+	// Must wait: record waits-for edges in the global graph and check
+	// for a cycle, all before the stripe is released so the blockers
+	// cannot dissolve between the decision to wait and the edges
+	// becoming visible to other requesters' cycle checks.
 	blockers := make(map[*Txn]bool)
 	for h := range ls.holders {
 		if h != t && !h.isAncestorOf(t) {
@@ -105,15 +157,24 @@ func (lt *lockTable) acquire(t *Txn, res uint64, mode LockMode) error {
 			blockers[w.t] = true
 		}
 	}
+	lt.wfMu.Lock()
 	lt.waitsFor[t] = blockers
 	if lt.cycleFromLocked(t) {
 		delete(lt.waitsFor, t)
-		lt.mu.Unlock()
+		lt.wfMu.Unlock()
+		st.mu.Unlock()
 		return fmt.Errorf("%w: txn %d requesting %v on %d", ErrDeadlock, t.id, mode, res)
 	}
+	qr := lt.waitingOn[t]
+	if qr == nil {
+		qr = make(map[uint64]bool)
+		lt.waitingOn[t] = qr
+	}
+	qr[res] = true
+	lt.wfMu.Unlock()
 	w := &lockWaiter{t: t, mode: mode, grant: make(chan error, 1)}
 	ls.queue = append(ls.queue, w)
-	lt.mu.Unlock()
+	st.mu.Unlock()
 
 	// Blocked: measure the wait and attribute it to the requester's
 	// trace. The granted-immediately fast path above records nothing.
@@ -125,24 +186,38 @@ func (lt *lockTable) acquire(t *Txn, res uint64, mode LockMode) error {
 	return err
 }
 
-// grantLocked adds the grant to the state and bookkeeping.
+// grantLocked adds the grant to the state and bookkeeping. The
+// caller holds the stripe owning res.
 func (lt *lockTable) grantLocked(ls *lockState, t *Txn, res uint64, mode LockMode) {
 	if cur, ok := ls.holders[t]; !ok || mode > cur {
 		ls.holders[t] = mode
 	}
-	hr := lt.held[t]
-	if hr == nil {
-		hr = make(map[uint64]LockMode)
-		lt.held[t] = hr
+	t.heldMu.Lock()
+	if t.held == nil {
+		t.held = make(map[uint64]LockMode)
 	}
-	if cur, ok := hr[res]; !ok || mode > cur {
-		hr[res] = mode
+	if cur, ok := t.held[res]; !ok || mode > cur {
+		t.held[res] = mode
 	}
+	t.heldMu.Unlock()
+	lt.clearWait(t, res)
+}
+
+// clearWait removes t's waits-for edges and queued-on entry for res.
+func (lt *lockTable) clearWait(t *Txn, res uint64) {
+	lt.wfMu.Lock()
 	delete(lt.waitsFor, t)
+	if qr := lt.waitingOn[t]; qr != nil {
+		delete(qr, res)
+		if len(qr) == 0 {
+			delete(lt.waitingOn, t)
+		}
+	}
+	lt.wfMu.Unlock()
 }
 
 // cycleFromLocked reports whether the waits-for graph reaches back to
-// start from start's blockers.
+// start from start's blockers. The caller holds wfMu.
 func (lt *lockTable) cycleFromLocked(start *Txn) bool {
 	seen := make(map[*Txn]bool)
 	var dfs func(t *Txn) bool
@@ -172,73 +247,105 @@ func (lt *lockTable) cycleFromLocked(start *Txn) bool {
 // releaseAll drops every lock held by t, fails t's queued requests,
 // and wakes compatible waiters.
 func (lt *lockTable) releaseAll(t *Txn) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	// Remove t from every wait queue: a transaction resolved by
-	// another goroutine must not be granted locks later.
-	for res, ls := range lt.locks {
+	// Remove t from every wait queue it is parked on: a transaction
+	// resolved by another goroutine must not be granted locks later.
+	// The queued-on index names the stripes to visit.
+	lt.wfMu.Lock()
+	var queued []uint64
+	for res := range lt.waitingOn[t] {
+		queued = append(queued, res)
+	}
+	lt.wfMu.Unlock()
+	for _, res := range queued {
+		st := lt.stripe(res)
+		lt.lockStripe(st)
+		ls := st.locks[res]
+		if ls == nil {
+			st.mu.Unlock()
+			continue
+		}
 		for i := 0; i < len(ls.queue); {
 			if ls.queue[i].t == t {
 				w := ls.queue[i]
 				ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-				w.grant <- ErrWaitCancelled //lint:allow lockdiscipline grant channels are buffered (cap 1); the send cannot block
+				w.grant <- ErrWaitCancelled
 			} else {
 				i++
 			}
 		}
-		lt.wakeLocked(ls, res)
+		lt.wakeLocked(st, ls, res)
+		st.mu.Unlock()
 	}
-	for res := range lt.held[t] {
-		ls := lt.locks[res]
+
+	t.heldMu.Lock()
+	held := t.held
+	t.held = nil
+	t.heldMu.Unlock()
+	for res := range held {
+		st := lt.stripe(res)
+		lt.lockStripe(st)
+		ls := st.locks[res]
 		if ls == nil {
+			st.mu.Unlock()
 			continue
 		}
 		delete(ls.holders, t)
-		lt.wakeLocked(ls, res)
+		lt.wakeLocked(st, ls, res)
 		if len(ls.holders) == 0 && len(ls.queue) == 0 {
-			delete(lt.locks, res)
+			delete(st.locks, res)
 		}
+		st.mu.Unlock()
 	}
-	delete(lt.held, t)
+	lt.wfMu.Lock()
 	delete(lt.waitsFor, t)
+	delete(lt.waitingOn, t)
+	lt.wfMu.Unlock()
 }
 
 // inherit transfers all locks held by child to parent (Moss rule on
 // subtransaction commit).
 func (lt *lockTable) inherit(child, parent *Txn) {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	for res, mode := range lt.held[child] {
-		ls := lt.locks[res]
+	child.heldMu.Lock()
+	held := child.held
+	child.held = nil
+	child.heldMu.Unlock()
+	for res, mode := range held {
+		st := lt.stripe(res)
+		lt.lockStripe(st)
+		ls := st.locks[res]
 		if ls == nil {
+			st.mu.Unlock()
 			continue
 		}
 		delete(ls.holders, child)
 		if cur, ok := ls.holders[parent]; !ok || mode > cur {
 			ls.holders[parent] = mode
 		}
-		hr := lt.held[parent]
-		if hr == nil {
-			hr = make(map[uint64]LockMode)
-			lt.held[parent] = hr
+		parent.heldMu.Lock()
+		if parent.held == nil {
+			parent.held = make(map[uint64]LockMode)
 		}
-		if cur, ok := hr[res]; !ok || mode > cur {
-			hr[res] = mode
+		if cur, ok := parent.held[res]; !ok || mode > cur {
+			parent.held[res] = mode
 		}
-		lt.wakeLocked(ls, res)
+		parent.heldMu.Unlock()
+		lt.wakeLocked(st, ls, res)
+		st.mu.Unlock()
 	}
-	delete(lt.held, child)
+	lt.wfMu.Lock()
 	delete(lt.waitsFor, child)
+	delete(lt.waitingOn, child)
+	lt.wfMu.Unlock()
 }
 
 // wakeLocked grants queued requests that are now compatible, in FIFO
-// order, stopping at the first incompatible one.
-func (lt *lockTable) wakeLocked(ls *lockState, res uint64) {
+// order, stopping at the first incompatible one. The caller holds st.
+func (lt *lockTable) wakeLocked(st *lockStripe, ls *lockState, res uint64) {
 	for len(ls.queue) > 0 {
 		w := ls.queue[0]
 		if w.t.Status() != Active {
 			ls.queue = ls.queue[1:]
-			delete(lt.waitsFor, w.t)
+			lt.clearWait(w.t, res)
 			w.grant <- ErrWaitCancelled
 			continue
 		}
@@ -253,10 +360,10 @@ func (lt *lockTable) wakeLocked(ls *lockState, res uint64) {
 
 // heldModes reports the locks t currently holds (for tests and stats).
 func (lt *lockTable) heldModes(t *Txn) map[uint64]LockMode {
-	lt.mu.Lock()
-	defer lt.mu.Unlock()
-	out := make(map[uint64]LockMode, len(lt.held[t]))
-	for r, m := range lt.held[t] {
+	t.heldMu.Lock()
+	defer t.heldMu.Unlock()
+	out := make(map[uint64]LockMode, len(t.held))
+	for r, m := range t.held {
 		out[r] = m
 	}
 	return out

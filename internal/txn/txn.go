@@ -150,6 +150,8 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 	m.lockWaitX = reg.Histogram(lwName, lwHelp, "mode", "X")
 	m.durableDur = reg.Histogram("reach_txn_durable_commit_seconds",
 		"Durability callback latency (WAL append + fsync) at top-level commit.")
+	m.locks.contention = reg.Counter("reach_lock_stripe_contention_total",
+		"Lock-table stripe acquisitions that found the stripe already locked.")
 }
 
 // SetTracer installs the tracer that receives lock-wait and wal-fsync
@@ -226,6 +228,14 @@ type Txn struct {
 
 	// Values attached by higher layers (e.g. the object cache).
 	vals map[any]any
+
+	// held maps resources to the strongest lock mode this transaction
+	// holds, guarded by heldMu — its own mutex, not mu, because the
+	// lock table updates it while holding a stripe and must never
+	// entangle stripe order with transaction-state order. heldMu is a
+	// leaf: nothing is acquired while it is held.
+	heldMu sync.Mutex
+	held   map[uint64]LockMode
 }
 
 type dependency struct {
