@@ -50,18 +50,26 @@ bench-diff:
 	$(GO) run ./cmd/reachbench -n $(BENCH_N) -json $(CURDIR)/.bench/bench-current.json > /dev/null
 	$(GO) run ./cmd/reachbench -diff -tolerance $(BENCH_TOLERANCE) $(BENCH) $(CURDIR)/.bench/bench-current.json
 
-# crash runs the crash-consistency matrix (every workload crashed at
-# every write/fsync boundary, clean and WAL-torn, with second crashes
-# during recovery) plus a short fuzz of the WAL record decoder.
+# crash runs the crash-consistency matrix (every workload — including
+# the fuzzy-checkpoint and rotation scripts — crashed at every
+# write/fsync boundary, clean and WAL-torn, with second crashes during
+# recovery), the checkpoint-site fault-injection sweep, and a short
+# fuzz of the WAL record decoder.
 crash:
 	$(GO) test -timeout 120s ./internal/fault/... -run 'TestCrashMatrix|TestHarnessCatchesLostCommit' -count=1
+	$(GO) test -timeout 120s ./internal/storage -run 'TestCheckpointFailureSites|TestCheckpointRepeatedFailure' -count=1
 	$(GO) test -timeout 120s ./internal/storage -run FuzzReadRecord -fuzz FuzzReadRecord -fuzztime 10s
 
 # stress hammers the supervised rule executor under the race detector:
 # mixed panicking/deadlocking/failing rules, WAL fault injection armed,
 # plus the Drain/WaitDetached race and crash-consistency invariants, in
-# short mode so the whole target stays CI-sized.
+# short mode so the whole target stays CI-sized. The storage leg
+# asserts the WAL-growth bound: segment chains stay short under
+# sustained traffic with checkpoints.
 stress:
 	$(GO) test -race -short -timeout 120s -count=1 \
 		-run 'TestExecutorStress|TestDrainWaitDetachedRace|TestDetachedRuleFaultInjection|TestDetachedDeadlockRetry' \
 		./internal/eca
+	$(GO) test -race -timeout 120s -count=1 \
+		-run 'TestWALGrowthBounded|TestStoreCheckpointWithActiveTxn|TestBackgroundCheckpointer' \
+		./internal/storage

@@ -16,7 +16,11 @@
 //	query select r from River r where r.level < 37
 //	index River level
 //	get Rhine level | set Rhine temp 26.5
+//	checkpoint                      (force a fuzzy checkpoint now)
 //	roots | classes | stats [metrics|trace <n>] | slowlog | history | quit
+//
+// SIGINT/SIGTERM shut down gracefully: the rule executor is drained,
+// a final checkpoint is taken, and the store is closed cleanly.
 package main
 
 import (
@@ -26,8 +30,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	reach "repro"
@@ -68,6 +74,25 @@ func main() {
 		os.Exit(1)
 	}
 	defer sys.Close()
+	// Graceful shutdown on SIGINT/SIGTERM: drain the rule executor
+	// (bounded), then Close — which takes a final checkpoint and
+	// closes the store cleanly, so the next start recovers instantly.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "\nreachd: %v: draining rules, checkpointing, closing\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := sys.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "reachd: drain:", err)
+		}
+		if err := sys.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "reachd: close:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
 	if *admin != "" {
 		srv, addr, err := sys.Admin().Serve(*admin)
 		if err != nil {
@@ -75,7 +100,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /slowlog /failpoints /rules/deadletter /rules/breakers /debug/pprof)\n", addr)
+		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /slowlog /checkpoint /failpoints /rules/deadletter /rules/breakers /debug/pprof)\n", addr)
 	}
 	fmt.Printf("build: %s %s (%s)\n", sys.Build.Module, sys.Build.Version, sys.Build.GoVersion)
 	fmt.Println("REACH shell — an integrated active OODBMS. Type 'help'.")
@@ -213,6 +238,14 @@ func repl(sys *reach.System, in io.Reader, out io.Writer) {
 				fmt.Fprintf(out, "breaker for %s re-armed\n", args[0])
 			} else {
 				fmt.Fprintf(out, "rule %q has no breaker record\n", args[0])
+			}
+		case "checkpoint":
+			if err := sys.DB.Checkpoint(); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				h := sys.DB.CheckpointHealth()
+				fmt.Fprintf(out, "checkpoint complete: redoLSN=%d endLSN=%d (ok=%d failed=%d)\n",
+					h.LastRedoLSN, h.LastEndLSN, h.Checkpoints, h.Failures)
 			}
 		case "drain":
 			if err := drainCmd(sys, args); err != nil {
@@ -357,6 +390,20 @@ func statsCmd(sys *reach.System, out io.Writer, args []string) {
 			ss.Pages, ss.BufferHits, ss.BufferMiss, ss.WALSyncs)
 		fmt.Fprintf(out, "  group commit: requests=%d batches=%d batch-highwater=%d\n",
 			ss.GroupCommitRequests, ss.GroupCommitBatches, ss.GroupBatchHighwater)
+		fmt.Fprintf(out, "  wal: segments=%d bytes=%d rotations=%d prunes=%d\n",
+			ss.WALSegments, ss.WALSegmentBytes, ss.WALRotations, ss.WALPrunes)
+		degraded := ""
+		if ss.CheckpointDegraded {
+			degraded = " DEGRADED"
+		}
+		fmt.Fprintf(out, "  checkpoints: ok=%d failed=%d redo-lsn=%d%s\n",
+			ss.Checkpoints, ss.CheckpointFailures, ss.LastRedoLSN, degraded)
+		if ss.LastCheckpointError != "" {
+			fmt.Fprintf(out, "  last checkpoint error: %s\n", ss.LastCheckpointError)
+		}
+		fmt.Fprintf(out, "  recovery: segments scanned/skipped=%d/%d records scanned/replayed=%d/%d\n",
+			ss.RecoverySegmentsScanned, ss.RecoverySegmentsSkipped,
+			ss.RecoveryRecordsScanned, ss.RecoveryRecordsReplayed)
 		return
 	}
 	switch args[0] {
@@ -411,6 +458,7 @@ func help(out io.Writer) {
   breakers                      per-rule circuit breaker states
   rearm <rule>                  close a tripped rule's circuit breaker
   drain [timeout]               refuse new detached spawns, wait for in-flight rules
+  checkpoint                    take a fuzzy checkpoint (flush + prune WAL segments)
   roots | classes | history | quit
 `)
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/eca"
+	"repro/internal/oodb"
 )
 
 // deadLetterHandler serves the executor's dead-letter queue:
@@ -50,6 +51,35 @@ func breakerHandler(e *eca.Engine) http.Handler {
 				return
 			}
 			writeAdminJSON(w, map[string]any{"rearmed": name})
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// checkpointHandler serves the durability surface:
+//
+//	GET  /checkpoint   checkpoint health (totals, degraded flag, last error)
+//	POST /checkpoint   take a fuzzy checkpoint now
+func checkpointHandler(db *oodb.DB) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeAdminJSON(w, map[string]any{"checkpoint": db.CheckpointHealth()})
+		case http.MethodPost:
+			if err := db.Checkpoint(); err != nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusInternalServerError)
+				_ = json.NewEncoder(w).Encode(map[string]any{
+					"error":      err.Error(),
+					"checkpoint": db.CheckpointHealth(),
+				})
+				return
+			}
+			writeAdminJSON(w, map[string]any{
+				"checkpointed": true,
+				"checkpoint":   db.CheckpointHealth(),
+			})
 		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		}

@@ -84,6 +84,14 @@ func Open(opts Options) (*System, error) {
 		dbOpts.Clock = opts.Clock
 	}
 	dbOpts.Storage.Metrics = reg
+	if opts.Dir != "" {
+		// Persistent systems run the background checkpointer so the WAL
+		// is reclaimed and restart stays fast without operator action.
+		dbOpts.Storage.Checkpoint.Auto = true
+		if opts.Clock != nil {
+			dbOpts.Storage.Checkpoint.Clock = opts.Clock
+		}
+	}
 	db, err := oodb.Open(dbOpts)
 	if err != nil {
 		return nil, err
@@ -123,6 +131,7 @@ func (s *System) Admin() *obs.Admin {
 	a.Handle("/rules/deadletter", deadLetterHandler(s.Engine))
 	a.Handle("/rules/breakers", breakerHandler(s.Engine))
 	a.Handle("/slowlog", s.Engine.SlowLog().Handler())
+	a.Handle("/checkpoint", checkpointHandler(s.DB))
 	return a
 }
 

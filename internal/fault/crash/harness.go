@@ -143,6 +143,9 @@ func storeOptions(fs *fault.ShadowFS) storage.Options {
 		FS:              fs,
 		BufferPoolPages: 4, // tiny pool: every run exercises eviction writes
 		SyncOnCommit:    storage.Bool(true),
+		// Tiny segments: every workload rotates the log several times,
+		// so the matrix crashes inside rotation and pruning too.
+		WALSegmentBytes: 4096,
 	}
 }
 
@@ -473,5 +476,22 @@ func Workloads() []Workload {
 		ckpt,
 		b(4), ins(4, 41), upd(4, 2), commit(4))
 
-	return []Workload{serial, interleaved, churn}
+	// Fuzzy checkpoints with a transaction held open throughout: the
+	// old checkpoint refused while any transaction was active, so this
+	// script pins the starvation fix and the ATT/redoLSN bookkeeping —
+	// txn 1's records span every checkpoint and its fate (commit near
+	// the end) must survive crashes inside any of them.
+	fuzzy := Workload{Name: "fuzzy-held-txn", Steps: []Step{
+		b(1), ins(1, 0), ins(1, 1), ins(1, 2),
+		b(2), ins(2, 10), commit(2),
+		ckpt, // txn 1 active
+		upd(1, 0),
+		b(3), ins(3, 11), upd(3, 10), commit(3),
+		ckpt, // txn 1 still active, spanning two checkpoints
+		del(1, 1), commit(1),
+		ckpt,
+		b(4), ins(4, 20), commit(4),
+	}}
+
+	return []Workload{serial, interleaved, churn, fuzzy}
 }

@@ -35,6 +35,9 @@ const (
 	SiteWALAppend     = "wal.append"
 	SiteWALFlush      = "wal.flush"
 	SiteWALSync       = "wal.sync"
+	SiteWALRotate     = "wal.rotate"
+	SiteWALPrune      = "wal.prune"
+	SiteCkptMaster    = "ckpt.master"
 	SiteBufferEvict   = "buffer.evict"
 )
 
@@ -43,7 +46,8 @@ const (
 func Sites() []string {
 	return []string{
 		SitePagerRead, SitePagerWrite, SitePagerSync, SitePagerAllocate,
-		SiteWALAppend, SiteWALFlush, SiteWALSync, SiteBufferEvict,
+		SiteWALAppend, SiteWALFlush, SiteWALSync,
+		SiteWALRotate, SiteWALPrune, SiteCkptMaster, SiteBufferEvict,
 	}
 }
 

@@ -27,6 +27,14 @@ type File interface {
 type FS interface {
 	// OpenFile opens path read-write, creating it if necessary.
 	OpenFile(path string) (File, error)
+	// ReadDir lists the names (not full paths) of the regular files
+	// directly inside dir. A missing directory is an empty listing,
+	// not an error, so a fresh store opens cleanly.
+	ReadDir(dir string) ([]string, error)
+	// Remove deletes path. Whether the deletion is durable before the
+	// next crash is the implementation's business: ShadowFS models an
+	// unsynced directory entry, so removed files can resurrect.
+	Remove(path string) error
 }
 
 // OS is the passthrough FS over the real filesystem.
@@ -40,6 +48,27 @@ func (OS) OpenFile(path string) (File, error) {
 	}
 	return osFile{f}, nil
 }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
 
 type osFile struct{ *os.File }
 

@@ -33,6 +33,11 @@ type ShadowFS struct {
 type shadowData struct {
 	durable  []byte
 	volatile []byte
+	// removed marks an unlinked directory entry. The unlink itself is
+	// never made durable (there is no directory fsync in this model),
+	// so Crash resurrects the file with its durable image — the
+	// adversarial case recovery must tolerate for pruned WAL segments.
+	removed bool
 }
 
 // NewShadowFS returns an empty shadow filesystem.
@@ -53,8 +58,58 @@ func (fs *ShadowFS) OpenFile(path string) (File, error) {
 		d = &shadowData{}
 		fs.files[path] = d
 	}
+	if d.removed {
+		// Re-creating a removed name starts from empty volatile
+		// contents, but the old durable image stays: the unlink was
+		// never durable, so a crash can still bring it back.
+		d.removed = false
+		d.volatile = nil
+	}
 	fs.handles++
 	return &ShadowFile{fs: fs, d: d, path: path, gen: fs.gen}, nil
+}
+
+// ReadDir implements FS: the names of live files directly inside dir.
+func (fs *ShadowFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, fmt.Errorf("fault: readdir %s: %w", dir, ErrCrashed)
+	}
+	prefix := dir + "/"
+	var names []string
+	for path, d := range fs.files {
+		if d.removed || !strings.HasPrefix(path, prefix) {
+			continue
+		}
+		name := path[len(prefix):]
+		if name == "" || strings.Contains(name, "/") {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// Remove implements FS. The deletion charges a write boundary and only
+// touches the volatile namespace: the durable image survives, so Crash
+// resurrects the file (an unlink with no directory fsync).
+func (fs *ShadowFS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[path]
+	if !ok || d.removed {
+		if fs.crashed {
+			return fmt.Errorf("fault: remove %s: %w", path, ErrCrashed)
+		}
+		return fmt.Errorf("fault: remove %s: %w", path, os.ErrNotExist)
+	}
+	if _, err := fs.admitWriteLocked(path); err != nil {
+		return err
+	}
+	d.removed = true
+	d.volatile = nil
+	return nil
 }
 
 // CrashAfter schedules the crash: the first n write operations
@@ -80,6 +135,7 @@ func (fs *ShadowFS) Crash() {
 	defer fs.mu.Unlock()
 	for _, d := range fs.files {
 		d.volatile = append([]byte(nil), d.durable...)
+		d.removed = false // unlinks were never made durable
 	}
 	fs.gen++
 	fs.handles = 0
@@ -123,6 +179,7 @@ func (fs *ShadowFS) Clone() *ShadowFS {
 		out.files[path] = &shadowData{
 			durable:  append([]byte(nil), d.durable...),
 			volatile: append([]byte(nil), d.volatile...),
+			removed:  d.removed,
 		}
 	}
 	return out
@@ -137,7 +194,9 @@ func (fs *ShadowFS) admitWriteLocked(path string) (tear bool, err error) {
 	}
 	if fs.crashAt >= 0 && fs.writeOps >= fs.crashAt {
 		fs.crashed = true
-		return fs.tornPath != "" && strings.HasSuffix(path, fs.tornPath), ErrCrashed
+		// Contains, not HasSuffix: WAL segment files are named
+		// <base>.<seq>, so "wal.log" must match "db/wal.log.00000003".
+		return fs.tornPath != "" && strings.Contains(path, fs.tornPath), ErrCrashed
 	}
 	fs.writeOps++
 	return false, nil

@@ -742,12 +742,23 @@ func (db *DB) StorageStats() storage.Stats {
 	return db.store.Stats()
 }
 
-// Checkpoint flushes committed state and truncates the log.
+// Checkpoint takes a fuzzy checkpoint: committed state is flushed
+// concurrently with in-flight transactions and fully covered WAL
+// segments are pruned. A no-op for an in-memory database.
 func (db *DB) Checkpoint() error {
 	if db.store == nil {
 		return nil
 	}
 	return db.store.Checkpoint()
+}
+
+// CheckpointHealth reports the store's durability health snapshot
+// (zero value for an in-memory database).
+func (db *DB) CheckpointHealth() storage.CheckpointHealth {
+	if db.store == nil {
+		return storage.CheckpointHealth{}
+	}
+	return db.store.CheckpointHealth()
 }
 
 // Close closes the database and its store.

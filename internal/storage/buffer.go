@@ -24,6 +24,12 @@ type BufferPool struct {
 	frames map[PageID]*frame
 	lru    *list.List // of PageID; front = most recently used
 
+	// lsnSrc reports the LSN the next WAL record will get; a frame
+	// crossing clean->dirty captures it as its recLSN (the earliest log
+	// record whose effect might not be on disk). The fuzzy checkpoint
+	// takes the min over dirty frames as a redoLSN bound.
+	lsnSrc func() uint64
+
 	// hits/misses are standalone by default and rebound into the
 	// shared registry when the store is opened with Metrics.
 	hits   *obs.Counter
@@ -40,7 +46,22 @@ type frame struct {
 	pins    int
 	dirty   bool
 	noSteal bool // dirtied by an in-flight transaction
-	lruElem *list.Element
+	// flushing marks a frame whose snapshot a fuzzy checkpoint is
+	// writing back off-lock; eviction must not write a newer version
+	// underneath it (the checkpoint's stale copy would then clobber
+	// the newer image on disk).
+	flushing bool
+	recLSN   uint64 // first LSN that dirtied the frame since it was last clean
+	version  uint64 // bumped on every dirtying Unpin; detects redirty during flush
+	lruElem  *list.Element
+}
+
+// SetRecLSNSource installs the next-LSN callback consulted when a
+// frame goes dirty. Call before the pool sees traffic.
+func (bp *BufferPool) SetRecLSNSource(fn func() uint64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.lsnSrc = fn
 }
 
 // NewBufferPool returns a pool of the given nominal capacity over the
@@ -131,7 +152,13 @@ func (bp *BufferPool) Unpin(id PageID, dirty, noSteal bool) {
 	}
 	fr.pins--
 	if dirty {
-		fr.dirty = true
+		if !fr.dirty {
+			fr.dirty = true
+			if bp.lsnSrc != nil {
+				fr.recLSN = bp.lsnSrc()
+			}
+		}
+		fr.version++
 	}
 	if noSteal {
 		fr.noSteal = true
@@ -159,7 +186,7 @@ func (bp *BufferPool) evictLocked() error {
 	for e := bp.lru.Back(); e != nil; e = e.Prev() {
 		id := e.Value.(PageID)
 		fr := bp.frames[id]
-		if fr.pins > 0 || fr.noSteal {
+		if fr.pins > 0 || fr.noSteal || fr.flushing {
 			continue
 		}
 		if fr.dirty {
@@ -192,9 +219,75 @@ func (bp *BufferPool) FlushAll() error {
 				return err
 			}
 			fr.dirty = false
+			fr.recLSN = 0
 		}
 	}
 	return nil
+}
+
+// DirtyIDs snapshots the IDs of dirty, steal-safe frames — the fuzzy
+// checkpoint's working set.
+func (bp *BufferPool) DirtyIDs() []PageID {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var ids []PageID
+	for id, fr := range bp.frames {
+		if fr.dirty && !fr.noSteal {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// SnapshotFrame copies page id's bytes into dst and marks the frame
+// flushing, returning the frame version the copy reflects. It reports
+// false when the frame is gone, clean, steal-protected, or already
+// being flushed. The caller must also hold the store mutex so the copy
+// cannot catch a record mutation mid-write, and must pair a true
+// return with EndFlush.
+func (bp *BufferPool) SnapshotFrame(id PageID, dst *Page) (uint64, bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || !fr.dirty || fr.noSteal || fr.flushing {
+		return 0, false
+	}
+	*dst = fr.page
+	fr.flushing = true
+	return fr.version, true
+}
+
+// EndFlush ends a SnapshotFrame window. When the write-back (and its
+// fsync) succeeded and nobody redirtied the frame meanwhile, the frame
+// becomes clean; otherwise it stays dirty and a later checkpoint
+// retries.
+func (bp *BufferPool) EndFlush(id PageID, version uint64, written bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok {
+		return
+	}
+	fr.flushing = false
+	if written && fr.version == version {
+		fr.dirty = false
+		fr.recLSN = 0
+	}
+}
+
+// MinDirtyRecLSN reports the smallest recLSN over dirty frames, or 0
+// when no dirty frame carries one — the dirty-page contribution to a
+// fuzzy checkpoint's redoLSN.
+func (bp *BufferPool) MinDirtyRecLSN() uint64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var minLSN uint64
+	for _, fr := range bp.frames {
+		if fr.dirty && fr.recLSN != 0 && (minLSN == 0 || fr.recLSN < minLSN) {
+			minLSN = fr.recLSN
+		}
+	}
+	return minLSN
 }
 
 // Len reports the number of resident frames.

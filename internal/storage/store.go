@@ -30,6 +30,13 @@ type Options struct {
 	// the ablation switch for the contention experiments (E13); leave
 	// it false everywhere else.
 	DisableGroupCommit bool
+	// WALSegmentBytes caps a WAL segment before rotation. Zero selects
+	// DefaultSegmentBytes.
+	WALSegmentBytes int64
+	// Checkpoint configures fuzzy checkpointing and the background
+	// checkpointer; the zero value leaves the background goroutine off
+	// so tests that count fsyncs stay deterministic.
+	Checkpoint CheckpointOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -60,8 +67,13 @@ type Store struct {
 	wal   *WAL
 	opts  Options
 
-	mu         sync.Mutex
-	active     map[uint64]*txnState
+	mu     sync.Mutex
+	active map[uint64]*txnState
+	// forcing holds transactions whose commit record is appended but
+	// not yet known durable: their pages stay steal-protected so no
+	// flush (checkpoint or eviction) publishes effects whose commit a
+	// crash might lose.
+	forcing    map[uint64]*txnState
 	insertHint PageID // last page that accepted an insert
 	// poison is set when a commit's durability is in doubt: the commit
 	// record was appended but forcing it to stable storage failed, so
@@ -70,11 +82,46 @@ type Store struct {
 	// next Open, which replays what actually reached the disk, can
 	// resolve the transaction's fate.
 	poison error
+
+	// Fuzzy-checkpoint state. ckptMu serializes whole checkpoints
+	// (manual, background, Close) and is always taken before s.mu.
+	ckptMu        sync.Mutex
+	copts         CheckpointOptions
+	ckptLastNext  uint64 // wal.NextLSN after the last completed checkpoint (idle skip)
+	ckptBaseBytes uint64 // wal.AppendedBytes at the last completed checkpoint (byte trigger)
+	lastCkpt      CheckpointInfo
+
+	// Health: consecutive failures flip the degraded flag; any success
+	// clears it. Guarded by s.mu.
+	ckptConsecFails  int
+	ckptDegradedFlag bool
+	ckptLastErr      string
+
+	// Background checkpointer plumbing; nil channels when Auto is off.
+	ckptNotify   chan struct{}
+	ckptStop     chan struct{}
+	ckptDone     chan struct{}
+	ckptStopOnce sync.Once
+
+	// Checkpoint/recovery metrics, standalone by default and rebound
+	// into the registry when Options.Metrics is set.
+	ckptOK       *obs.Counter
+	ckptErr      *obs.Counter
+	ckptDegraded *obs.Gauge
+	ckptDur      *obs.Histogram
+	recoverDur   *obs.Histogram
+
+	// Recovery-window accounting from the last Open, for Stats.
+	recSegsScanned int
+	recSegsSkipped int
+	recRecords     int
+	recReplayed    int
 }
 
 type txnState struct {
-	ops   []undoOp
-	pages map[PageID]bool
+	ops      []undoOp
+	pages    map[PageID]bool
+	firstLSN uint64 // LSN of the BEGIN record; pins a fuzzy checkpoint's redoLSN
 }
 
 type undoOp struct {
@@ -85,6 +132,9 @@ type undoOp struct {
 
 // Errors returned by Store operations.
 var (
+	// ErrTxnActive is retained for callers that still match on it; the
+	// fuzzy checkpoint no longer refuses to run while transactions are
+	// in flight, so Checkpoint never returns it anymore.
 	ErrTxnActive   = errors.New("storage: transactions still active")
 	ErrUnknownTxn  = errors.New("storage: unknown transaction")
 	ErrStoreClosed = errors.New("storage: store closed")
@@ -108,29 +158,62 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	wal, err := OpenWALFS(fs, filepath.Join(dir, "wal.log"))
+	wal, err := OpenWALSegmented(fs, filepath.Join(dir, "wal.log"), opts.WALSegmentBytes)
 	if err != nil {
 		_ = pager.Close() // opening the WAL failed; the close is best-effort cleanup
 		return nil, err
 	}
 	s := &Store{
-		pager:      pager,
-		pool:       NewBufferPool(pager, opts.BufferPoolPages),
-		wal:        wal,
-		opts:       opts,
-		active:     make(map[uint64]*txnState),
-		insertHint: InvalidPageID,
+		pager:        pager,
+		pool:         NewBufferPool(pager, opts.BufferPoolPages),
+		wal:          wal,
+		opts:         opts,
+		copts:        opts.Checkpoint.withDefaults(),
+		active:       make(map[uint64]*txnState),
+		forcing:      make(map[uint64]*txnState),
+		insertHint:   InvalidPageID,
+		ckptOK:       new(obs.Counter),
+		ckptErr:      new(obs.Counter),
+		ckptDegraded: new(obs.Gauge),
+		ckptDur:      new(obs.Histogram),
+		recoverDur:   new(obs.Histogram),
 	}
+	// Frames capture the upcoming record's LSN when they go dirty; the
+	// fuzzy checkpoint folds the minimum over dirty frames into redoLSN.
+	s.pool.SetRecLSNSource(wal.NextLSN)
 	if opts.Metrics != nil {
 		s.pool.Instrument(opts.Metrics)
 		wal.Instrument(opts.Metrics)
+		s.instrument(opts.Metrics)
 	}
-	if err := s.recover(); err != nil {
+	stopRecover := s.recoverDur.Time()
+	err = s.recover()
+	stopRecover()
+	if err != nil {
 		_ = wal.Close()   // recovery failed; the closes are best-effort cleanup
 		_ = pager.Close() // recovery failed; the closes are best-effort cleanup
 		return nil, err
 	}
+	if s.copts.Auto {
+		s.ckptNotify = make(chan struct{}, 1)
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	return s, nil
+}
+
+// instrument rebinds the store-level checkpoint/recovery metrics into
+// reg.
+func (s *Store) instrument(reg *obs.Registry) {
+	const name, help = "reach_checkpoint_total", "Fuzzy checkpoint attempts by result."
+	s.ckptOK = reg.Counter(name, help, "result", "ok")
+	s.ckptErr = reg.Counter(name, help, "result", "error")
+	s.ckptDegraded = reg.Gauge("reach_checkpoint_degraded",
+		"1 while repeated checkpoint failures have the store in degraded mode.")
+	s.ckptDur = reg.Histogram("reach_checkpoint_seconds", "Fuzzy checkpoint duration.")
+	s.recoverDur = reg.Histogram("reach_recovery_seconds",
+		"Crash-recovery duration at store open (bounded by the last checkpoint).")
 }
 
 // Begin registers a storage-level transaction. It is idempotent.
@@ -147,10 +230,11 @@ func (s *Store) Begin(txn uint64) error {
 	if _, ok := s.active[txn]; ok {
 		return nil
 	}
-	s.active[txn] = &txnState{pages: make(map[PageID]bool)}
-	if _, err := s.wal.Append(&LogRecord{Txn: txn, Kind: LogBegin, RID: InvalidRID}); err != nil {
+	lsn, err := s.wal.Append(&LogRecord{Txn: txn, Kind: LogBegin, RID: InvalidRID})
+	if err != nil {
 		return err
 	}
+	s.active[txn] = &txnState{pages: make(map[PageID]bool), firstLSN: lsn}
 	return nil
 }
 
@@ -373,13 +457,19 @@ func (s *Store) Commit(txn uint64) error {
 		return err
 	}
 	delete(s.active, txn)
-	pages := st.pages
-	s.releaseStealLocked(pages)
 	sync := *s.opts.SyncOnCommit
-	s.mu.Unlock()
 	if !sync {
+		s.releaseStealLocked(st.pages)
+		s.mu.Unlock()
+		s.maybeTriggerCheckpoint()
 		return nil
 	}
+	// The pages stay steal-protected until the commit record is known
+	// durable: a fuzzy checkpoint or eviction flushing them during the
+	// force could otherwise publish effects whose commit record a crash
+	// then loses — uncommitted data on disk under redo-only recovery.
+	s.forcing[txn] = st
+	s.mu.Unlock()
 	// Group commit: the force targets this commit record's LSN, so
 	// concurrent committers share one leader's fsync instead of queueing
 	// one fsync each behind wal.mu.
@@ -387,15 +477,22 @@ func (s *Store) Commit(txn uint64) error {
 	if s.opts.DisableGroupCommit {
 		force = func(uint64) error { return s.wal.Sync() }
 	}
-	if err := force(lsn); err != nil {
-		s.mu.Lock()
+	ferr := force(lsn)
+	s.mu.Lock()
+	delete(s.forcing, txn)
+	if ferr != nil {
+		// Keep the steal protection: the store is poisoned and its
+		// pages must not reach the data file with an undecided commit.
 		if s.poison == nil {
-			s.poison = fmt.Errorf("%w: txn %d: %v", ErrInDoubt, txn, err)
+			s.poison = fmt.Errorf("%w: txn %d: %v", ErrInDoubt, txn, ferr)
 		}
 		perr := s.poison
 		s.mu.Unlock()
 		return perr
 	}
+	s.releaseStealLocked(st.pages)
+	s.mu.Unlock()
+	s.maybeTriggerCheckpoint()
 	return nil
 }
 
@@ -545,6 +642,14 @@ func (s *Store) releaseStealLocked(pages map[PageID]bool) {
 			}
 		}
 		if !still {
+			for _, other := range s.forcing {
+				if other.pages[id] {
+					still = true
+					break
+				}
+			}
+		}
+		if !still {
 			s.pool.ReleaseSteal(id)
 		}
 	}
@@ -571,56 +676,23 @@ func (s *Store) Scan(fn func(rid RID, data []byte)) error {
 	return nil
 }
 
-// Checkpoint flushes all committed effects to the data file and
-// truncates the write-ahead log. It fails with ErrTxnActive while
-// transactions are in flight and with ErrInDoubt on a poisoned store
-// (truncating the log would destroy the evidence recovery needs).
-func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.checkpointLocked()
-}
-
-func (s *Store) checkpointLocked() error {
-	if s.poison != nil {
-		return s.poison
-	}
-	if len(s.active) > 0 {
-		return ErrTxnActive
-	}
-	if err := s.pool.FlushAll(); err != nil {
-		return err
-	}
-	if err := s.pager.Sync(); err != nil {
-		return err
-	}
-	return s.wal.Reset(s.wal.NextLSN())
-}
-
-// Close checkpoints if possible and closes the store's files. The
-// checkpoint decision and the checkpoint itself run under one
-// critical section, so a transaction beginning concurrently cannot
-// turn Close into a spurious ErrTxnActive; and the WAL and pager
-// handles are closed even when the checkpoint fails, so Close never
-// leaks file descriptors. On a poisoned store Close never checkpoints
-// or truncates the log — recovery on the next Open must see exactly
-// what stable storage holds to resolve the in-doubt commit. (The
-// final wal.Close still re-attempts the flush; forcing the in-doubt
-// commit record late only narrows the doubt, never widens it.)
+// Close stops the background checkpointer, takes a final fuzzy
+// checkpoint (online, so transactions still in flight do not block
+// it), and closes the store's files. The WAL and pager handles are
+// closed even when the checkpoint fails, so Close never leaks file
+// descriptors. On a poisoned store the checkpoint refuses to run and
+// Close reports success without it — recovery on the next Open must
+// see exactly what stable storage holds to resolve the in-doubt
+// commit. (The final wal.Close still re-attempts the flush; forcing
+// the in-doubt commit record late only narrows the doubt, never
+// widens it.)
 func (s *Store) Close() error {
-	s.mu.Lock()
-	var cerr error
-	switch {
-	case s.poison != nil:
-		// No checkpoint, no WAL truncation.
-	case len(s.active) == 0:
-		cerr = s.checkpointLocked()
-	default:
-		// Active transactions: no checkpoint, but force what is
-		// committed so far to stable storage.
-		cerr = s.wal.Sync()
+	s.stopCheckpointer()
+	cerr := s.Checkpoint()
+	if errors.Is(cerr, ErrInDoubt) {
+		// Poisoned: preserving the log evidence IS the close contract.
+		cerr = nil
 	}
-	s.mu.Unlock()
 	werr := s.wal.Close()
 	perr := s.pager.Close()
 	if cerr != nil {
@@ -649,53 +721,109 @@ type Stats struct {
 	GroupCommitRequests uint64
 	GroupCommitBatches  uint64
 	GroupBatchHighwater int64
+	// Segmented-WAL shape: live segment files, their total bytes, and
+	// the cumulative rotation/prune counts.
+	WALSegments     int
+	WALSegmentBytes int64
+	WALRotations    uint64
+	WALPrunes       uint64
+	// Checkpoint health (see CheckpointHealth for the full surface).
+	Checkpoints         uint64
+	CheckpointFailures  uint64
+	CheckpointDegraded  bool
+	LastCheckpointError string
+	LastRedoLSN         uint64
+	// Recovery window of the last Open: segments the scan read vs
+	// skipped thanks to the master record, and records scanned vs
+	// actually replayed past redoLSN.
+	RecoverySegmentsScanned int
+	RecoverySegmentsSkipped int
+	RecoveryRecordsScanned  int
+	RecoveryRecordsReplayed int
 }
 
 // Stats returns a snapshot of storage counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	active := len(s.active)
+	active := len(s.active) + len(s.forcing)
+	health := CheckpointHealth{
+		Checkpoints:         s.ckptOK.Value(),
+		Failures:            s.ckptErr.Value(),
+		ConsecutiveFailures: s.ckptConsecFails,
+		Degraded:            s.ckptDegradedFlag,
+		LastError:           s.ckptLastErr,
+		LastRedoLSN:         s.lastCkpt.RedoLSN,
+	}
+	recSegs, recSkipped := s.recSegsScanned, s.recSegsSkipped
+	recRecords, recReplayed := s.recRecords, s.recReplayed
 	s.mu.Unlock()
 	hits, misses := s.pool.Stats()
 	reqs, batches, high := s.wal.GroupCommitStats()
+	segs, segBytes, rotations, prunes := s.wal.SegmentStats()
 	return Stats{
-		Pages:               s.pager.NumPages(),
-		BufferHits:          hits,
-		BufferMiss:          misses,
-		WALSyncs:            s.wal.Syncs(),
-		WALNextLSN:          s.wal.NextLSN(),
-		ActiveTxns:          active,
-		FramesAlive:         s.pool.Len(),
-		GroupCommitRequests: reqs,
-		GroupCommitBatches:  batches,
-		GroupBatchHighwater: high,
+		Pages:                   s.pager.NumPages(),
+		BufferHits:              hits,
+		BufferMiss:              misses,
+		WALSyncs:                s.wal.Syncs(),
+		WALNextLSN:              s.wal.NextLSN(),
+		ActiveTxns:              active,
+		FramesAlive:             s.pool.Len(),
+		GroupCommitRequests:     reqs,
+		GroupCommitBatches:      batches,
+		GroupBatchHighwater:     high,
+		WALSegments:             segs,
+		WALSegmentBytes:         segBytes,
+		WALRotations:            rotations,
+		WALPrunes:               prunes,
+		Checkpoints:             health.Checkpoints,
+		CheckpointFailures:      health.Failures,
+		CheckpointDegraded:      health.Degraded,
+		LastCheckpointError:     health.LastError,
+		LastRedoLSN:             health.LastRedoLSN,
+		RecoverySegmentsScanned: recSegs,
+		RecoverySegmentsSkipped: recSkipped,
+		RecoveryRecordsScanned:  recRecords,
+		RecoveryRecordsReplayed: recReplayed,
 	}
 }
 
 // recover replays the write-ahead log: effects of committed
 // transactions are redone against the data file; uncommitted effects
-// never reached it (no-steal) and are simply discarded. The log is
-// then truncated.
+// never reached it (no-steal) and are simply discarded. The scan is
+// bounded: the WAL open already skipped every segment the master
+// record covers, and redo skips records below the last completed
+// checkpoint's redoLSN (their effects are certified durable).
+//
+// Recovery deliberately appends nothing and takes no checkpoint: its
+// write cost must stay constant so that a crash during recovery,
+// repeated any number of times, always converges (each attempt leaves
+// no new durable debris for the next one to clean up). The first
+// regular checkpoint after open — background, manual, or the one
+// Close takes — seals the replayed window instead.
 func (s *Store) recover() error {
+	info, haveCkpt := s.wal.LastCheckpoint()
 	committed := map[uint64]bool{sysTxn: true} // system records always replay
+	scanned := 0
 	if err := s.wal.Records(func(rec LogRecord) {
+		scanned++
 		if rec.Kind == LogCommit {
 			committed[rec.Txn] = true
 		}
 	}); err != nil {
 		return err
 	}
-	var maxLSN uint64
+	replayed := 0
 	var applyErr error
 	err := s.wal.Records(func(rec LogRecord) {
 		if applyErr != nil || !committed[rec.Txn] {
 			return
 		}
-		if rec.LSN > maxLSN {
-			maxLSN = rec.LSN
+		if haveCkpt && rec.LSN < info.RedoLSN {
+			return // durably applied before the checkpoint completed
 		}
 		switch rec.Kind {
 		case LogInsert, LogUpdate, LogDelete:
+			replayed++
 			applyErr = s.redo(rec)
 		}
 	})
@@ -705,13 +833,14 @@ func (s *Store) recover() error {
 	if applyErr != nil {
 		return applyErr
 	}
-	if err := s.pool.FlushAll(); err != nil {
-		return err
+	s.recSegsScanned, s.recSegsSkipped = s.wal.RecoveryWindow()
+	s.recRecords, s.recReplayed = scanned, replayed
+	if scanned == 0 {
+		// Fresh (or fully checkpointed empty) log: nothing to seal, so
+		// the first checkpoint can report idle instead of running.
+		s.ckptLastNext = s.wal.NextLSN()
 	}
-	if err := s.pager.Sync(); err != nil {
-		return err
-	}
-	return s.wal.Reset(maxLSN)
+	return nil
 }
 
 func (s *Store) redo(rec LogRecord) error {

@@ -222,7 +222,7 @@ func TestStoreRecoveryInterleavedTxns(t *testing.T) {
 	}
 }
 
-func TestStoreCheckpointTruncatesWAL(t *testing.T) {
+func TestStoreCheckpointBoundsReplayWindow(t *testing.T) {
 	s, _ := openTestStore(t, Options{})
 	defer s.Close()
 	s.Begin(1)
@@ -233,23 +233,78 @@ func TestStoreCheckpointTruncatesWAL(t *testing.T) {
 	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
+	// Everything before the checkpoint is covered: the replay window
+	// holds only the checkpoint protocol records themselves.
 	n := 0
-	s.wal.Records(func(LogRecord) { n++ })
-	if n != 0 {
-		t.Fatalf("WAL has %d records after checkpoint, want 0", n)
+	s.wal.Records(func(r LogRecord) {
+		n++
+		if r.Kind != LogCkptBegin && r.Kind != LogCkptEnd {
+			t.Fatalf("replay window still holds %v record (LSN %d)", r.Kind, r.LSN)
+		}
+	})
+	if n != 2 {
+		t.Fatalf("WAL has %d records after checkpoint, want 2 (begin+end)", n)
+	}
+	info, ok := s.wal.LastCheckpoint()
+	if !ok || info.RedoLSN == 0 || info.EndLSN <= info.BeginLSN {
+		t.Fatalf("LastCheckpoint = %+v/%v", info, ok)
 	}
 }
 
-func TestStoreCheckpointRefusedWithActiveTxn(t *testing.T) {
-	s, _ := openTestStore(t, Options{})
-	defer func() {
-		s.Abort(1)
-		s.Close()
-	}()
+// TestStoreCheckpointWithActiveTxn is the starvation regression: a
+// transaction held open across several checkpoints must not block or
+// fail them (the old checkpoint refused with ErrTxnActive, so one
+// long-lived writer starved log reclamation forever), and recovery
+// after a crash must still deliver exactly the committed data.
+func TestStoreCheckpointWithActiveTxn(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{WALSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Begin(1)
-	s.Insert(1, []byte("x"))
-	if err := s.Checkpoint(); err != ErrTxnActive {
-		t.Fatalf("Checkpoint err = %v, want ErrTxnActive", err)
+	held, _ := s.Insert(1, []byte("held-open")) // txn 1 stays open throughout
+	var committed []RID
+	for i := 0; i < 3; i++ {
+		txn := uint64(10 + i)
+		s.Begin(txn)
+		rid, _ := s.Insert(txn, []byte(fmt.Sprintf("committed-%d", i)))
+		committed = append(committed, rid)
+		if err := s.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d with txn 1 active: %v", i, err)
+		}
+		// The held-open transaction pins redo: recovery must still see
+		// its records to decide its fate.
+		info, ok := s.wal.LastCheckpoint()
+		if !ok || info.RedoLSN > s.active[1].firstLSN {
+			t.Fatalf("checkpoint %d: redoLSN %d past active txn firstLSN %d",
+				i, info.RedoLSN, s.active[1].firstLSN)
+		}
+	}
+	h := s.CheckpointHealth()
+	if h.Checkpoints < 3 || h.Failures != 0 || h.Degraded {
+		t.Fatalf("health after 3 checkpoints = %+v", h)
+	}
+	// Crash with txn 1 still open: its insert must not survive.
+	s.wal.Sync()
+	s.wal.Close()
+	s.pager.f.Close()
+
+	s2, err := Open(dir, Options{WALSegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, rid := range committed {
+		if got, err := s2.Get(rid); err != nil || !bytes.Equal(got, []byte(fmt.Sprintf("committed-%d", i))) {
+			t.Fatalf("Get(committed[%d]) = %q, %v", i, got, err)
+		}
+	}
+	if _, err := s2.Get(held); err == nil {
+		t.Fatal("record of transaction open at crash survived recovery")
 	}
 }
 

@@ -7,7 +7,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/fault"
@@ -26,6 +31,8 @@ const (
 	LogCommit
 	LogAbort
 	LogCheckpoint
+	LogCkptBegin
+	LogCkptEnd
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +52,10 @@ func (k LogKind) String() string {
 		return "ABORT"
 	case LogCheckpoint:
 		return "CHECKPOINT"
+	case LogCkptBegin:
+		return "CKPT-BEGIN"
+	case LogCkptEnd:
+		return "CKPT-END"
 	}
 	return fmt.Sprintf("LogKind(%d)", uint8(k))
 }
@@ -52,7 +63,9 @@ func (k LogKind) String() string {
 // LogRecord is one entry in the write-ahead log.
 //
 // Insert carries After; Delete carries Before; Update carries both.
-// Commit/Abort/Begin/Checkpoint carry no images.
+// Commit/Abort/Begin carry no images. CkptBegin carries the active-
+// transaction table in After; CkptEnd carries redoLSN+beginLSN in
+// After.
 type LogRecord struct {
 	LSN    uint64
 	Txn    uint64
@@ -62,13 +75,59 @@ type LogRecord struct {
 	After  []byte
 }
 
-// WAL is an append-only write-ahead log with CRC-protected records.
+// CheckpointInfo identifies a completed fuzzy checkpoint: recovery
+// redo may start at RedoLSN, and every segment whose records all
+// precede it is garbage.
+type CheckpointInfo struct {
+	RedoLSN  uint64
+	BeginLSN uint64
+	EndLSN   uint64
+}
+
+// DefaultSegmentBytes is the segment-rotation threshold when the
+// caller does not choose one.
+const DefaultSegmentBytes int64 = 4 << 20
+
+// walSegment is one size-capped file of the log. The last element of
+// WAL.segs is the active (append) segment; earlier ones are sealed
+// and fully fsynced (rotation seals before switching).
+type walSegment struct {
+	seq      uint64
+	path     string
+	f        fault.File
+	firstLSN uint64 // 0 while the segment holds no records
+	lastLSN  uint64
+	size     int64 // bytes of valid records (buffered bytes included for the active segment)
+}
+
+// WAL is an append-only write-ahead log with CRC-protected records,
+// split across ordered size-capped segment files <path>.<seq>. A
+// side master file <path>.ckpt points recovery at the last completed
+// checkpoint so the scan skips fully covered segments.
 type WAL struct {
-	mu      sync.Mutex
-	f       fault.File
-	w       *bufio.Writer
-	nextLSN uint64
-	path    string
+	mu       sync.Mutex
+	fs       fault.FS
+	path     string // base path; segments live beside it
+	segBytes int64
+	segs     []*walSegment // ascending seq; last is active
+	w        *bufio.Writer // over the active segment
+
+	// replayFrom is the index into segs where Records starts: segments
+	// before it are fully covered by the last completed checkpoint
+	// (per the master record) and awaiting pruning.
+	replayFrom int
+	// stale holds paths of covered segments discovered at open that
+	// were never handed a live handle (resurrected after a crash lost
+	// their unlink); the next completed checkpoint removes them.
+	stale []string
+
+	lastCkpt CheckpointInfo
+	haveCkpt bool
+	appended uint64 // total record bytes appended since open (monotone)
+
+	// Recovery-window accounting captured at open, for Stats.
+	openScanned int
+	openSkipped int
 
 	// ioErr latches the first append failure. A failed record write
 	// leaves an undefined prefix in the buffered stream, so appending
@@ -79,8 +138,12 @@ type WAL struct {
 	// Group-commit state, guarded by gmu — a separate mutex so joining
 	// a batch never waits behind the leader's I/O. Lock order: gmu is
 	// released before w.mu is taken (SyncTo), and w.mu holders may take
-	// gmu (Sync, Reset) because nobody waits for w.mu while holding gmu.
+	// gmu (Sync, rotation) because nobody waits for w.mu while holding
+	// gmu.
 	gmu     sync.Mutex
+	nextLSN uint64 // LSN the next append will assign; under gmu so
+	// NextLSN works from Records callbacks that already hold w.mu
+	// (recovery redo consults it as the buffer pool's recLSN source)
 	durable uint64     // highest LSN known forced to stable storage
 	leading bool       // a SyncTo leader is performing fsync rounds
 	pending *syncBatch // followers parked for the leader's next round
@@ -101,6 +164,12 @@ type WAL struct {
 	groupReqs    *obs.Counter
 	groupBatches *obs.Counter
 	batchHigh    *obs.Gauge
+
+	// Segment accounting.
+	rotations *obs.Counter
+	prunes    *obs.Counter
+	segGauge  *obs.Gauge
+	sizeGauge *obs.Gauge
 }
 
 // syncBatch parks SyncTo followers while a leader runs fsync rounds.
@@ -113,21 +182,61 @@ type syncBatch struct {
 	n      int64
 }
 
-// OpenWAL opens (creating if necessary) the log file at path on the
-// real filesystem and positions the next LSN after the last valid
-// record.
+// OpenWAL opens (creating if necessary) the log at path on the real
+// filesystem and positions the next LSN after the last valid record.
 func OpenWAL(path string) (*WAL, error) {
 	return OpenWALFS(fault.OS{}, path)
 }
 
-// OpenWALFS opens the log file at path through fs.
+// OpenWALFS opens the log at path through fs with the default segment
+// size.
 func OpenWALFS(fs fault.FS, path string) (*WAL, error) {
-	f, err := fs.OpenFile(path)
+	return OpenWALSegmented(fs, path, DefaultSegmentBytes)
+}
+
+// segPath names segment seq of the log at base.
+func segPath(base string, seq uint64) string {
+	return fmt.Sprintf("%s.%08d", base, seq)
+}
+
+// masterPath names the checkpoint master record beside the log.
+func masterPath(base string) string { return base + ".ckpt" }
+
+// listSegments returns the (seq, path) pairs of log segments beside
+// base, ascending by seq.
+func listSegments(fs fault.FS, base string) ([]uint64, error) {
+	dir := filepath.Dir(base)
+	names, err := fs.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("storage: open wal: %w", err)
+		return nil, fmt.Errorf("storage: list wal segments: %w", err)
+	}
+	prefix := filepath.Base(base) + "."
+	var seqs []uint64
+	for _, name := range names {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(name[len(prefix):], 10, 64)
+		if err != nil || seq == 0 {
+			continue // .ckpt master or unrelated file
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// OpenWALSegmented opens the segmented log at base path through fs,
+// rotating the active segment once it exceeds segBytes. Recovery
+// reads the master record first: segments fully covered by the last
+// completed checkpoint are skipped (and removed by the next
+// checkpoint), bounding the scan.
+func OpenWALSegmented(fs fault.FS, path string, segBytes int64) (*WAL, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
 	}
 	w := &WAL{
-		f: f, path: path, nextLSN: 1,
+		fs: fs, path: path, segBytes: segBytes,
 		syncs:        new(obs.Counter),
 		appendDur:    new(obs.Histogram),
 		flushDur:     new(obs.Histogram),
@@ -135,29 +244,114 @@ func OpenWALFS(fs fault.FS, path string) (*WAL, error) {
 		groupReqs:    new(obs.Counter),
 		groupBatches: new(obs.Counter),
 		batchHigh:    new(obs.Gauge),
+		rotations:    new(obs.Counter),
+		prunes:       new(obs.Counter),
+		segGauge:     new(obs.Gauge),
+		sizeGauge:    new(obs.Gauge),
 	}
-	// Scan to find the end of the valid prefix; truncate any torn tail.
-	validEnd := int64(0)
-	err = w.scan(func(rec LogRecord, end int64) {
-		w.nextLSN = rec.LSN + 1
-		validEnd = end
-	})
+	w.nextLSN = 1
+	seqs, err := listSegments(fs, path)
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
-	if err := f.Truncate(validEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+	master, haveMaster := readMaster(fs, masterPath(path))
+	// The master only helps if the segment it points at still exists;
+	// otherwise fall back to a full scan (always correct, page LSNs
+	// make redo idempotent).
+	if haveMaster {
+		found := false
+		for _, seq := range seqs {
+			if seq == master.startSeq {
+				found = true
+				break
+			}
+		}
+		if !found {
+			haveMaster = false
+		}
 	}
-	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
-		f.Close()
+	if len(seqs) == 0 {
+		seqs = []uint64{1}
+	}
+	fail := func(err error) (*WAL, error) {
+		for _, s := range w.segs {
+			s.f.Close()
+		}
 		return nil, err
 	}
-	w.w = bufio.NewWriterSize(f, 1<<16)
+	for _, seq := range seqs {
+		p := segPath(path, seq)
+		if haveMaster && seq < master.startSeq {
+			// Fully covered by the checkpoint: do not scan, do not hold
+			// a handle; the next completed checkpoint unlinks it.
+			w.stale = append(w.stale, p)
+			w.openSkipped++
+			continue
+		}
+		f, err := fs.OpenFile(p)
+		if err != nil {
+			return fail(fmt.Errorf("storage: open wal segment: %w", err))
+		}
+		w.segs = append(w.segs, &walSegment{seq: seq, path: p, f: f})
+	}
+	// Scan the retained chain in order. A torn or corrupt record is the
+	// crash frontier: everything after it (in this segment and any
+	// later one) was never acknowledged and is discarded.
+	for i := 0; i < len(w.segs); i++ {
+		s := w.segs[i]
+		validEnd := int64(0)
+		err := scanFile(s.f, func(rec LogRecord, end int64) {
+			if s.firstLSN == 0 {
+				s.firstLSN = rec.LSN
+			}
+			s.lastLSN = rec.LSN
+			validEnd = end
+			w.nextLSN = rec.LSN + 1
+			if rec.Kind == LogCkptEnd {
+				if info, ok := decodeCkptEnd(rec.After); ok {
+					info.EndLSN = rec.LSN
+					w.lastCkpt, w.haveCkpt = info, true
+				}
+			}
+		})
+		if err != nil {
+			return fail(err)
+		}
+		s.size = validEnd
+		w.openScanned++
+		if sz, err := s.f.Size(); err == nil && validEnd < sz {
+			if err := s.f.Truncate(validEnd); err != nil {
+				return fail(fmt.Errorf("storage: truncate torn wal tail: %w", err))
+			}
+			// Segments past the frontier are unreachable in normal
+			// operation (rotation seals before creating a successor),
+			// but a resurrected pruned file could sit there; drop them.
+			for _, t := range w.segs[i+1:] {
+				t.f.Close()
+				w.stale = append(w.stale, t.path)
+			}
+			w.segs = w.segs[:i+1]
+			break
+		}
+	}
+	if haveMaster && master.endLSN >= w.nextLSN {
+		// Insurance against LSN reuse if the scan saw less than the
+		// master promises durable.
+		w.nextLSN = master.endLSN + 1
+	}
+	act := w.active()
+	if _, err := act.f.Seek(act.size, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	w.w = bufio.NewWriterSize(act.f, 1<<16)
 	w.durable = w.nextLSN - 1 // everything scanned from disk is stable
+	w.updateSegMetricsLocked()
 	return w, nil
 }
+
+// active returns the append segment; the caller holds w.mu (or has
+// exclusive access during open).
+func (w *WAL) active() *walSegment { return w.segs[len(w.segs)-1] }
 
 // Instrument rebinds the log's counters into reg. Call it before the
 // log sees traffic.
@@ -176,10 +370,28 @@ func (w *WAL) Instrument(reg *obs.Registry) {
 		"Follower batches released by a group-commit leader.")
 	w.batchHigh = reg.Gauge("reach_wal_group_commit_batch_highwater",
 		"Largest follower batch released by one group-commit round.")
+	w.rotations = reg.Counter("reach_wal_segment_rotations_total",
+		"WAL segment rotations (active segment sealed, successor created).")
+	w.prunes = reg.Counter("reach_wal_segment_prunes_total",
+		"WAL segments deleted because a completed checkpoint covered them.")
+	w.segGauge = reg.Gauge("reach_wal_segments", "Live WAL segment files.")
+	w.sizeGauge = reg.Gauge("reach_wal_segment_bytes", "Total bytes across live WAL segments.")
+	w.updateSegMetricsLocked()
+}
+
+func (w *WAL) updateSegMetricsLocked() {
+	w.segGauge.Set(int64(len(w.segs)))
+	var total int64
+	for _, s := range w.segs {
+		total += s.size
+	}
+	w.sizeGauge.Set(total)
 }
 
 // Append writes rec to the log, assigning and returning its LSN. The
-// record is buffered; call Sync to force it to stable storage.
+// record is buffered; call Sync to force it to stable storage. When
+// the active segment is over the rotation threshold it is sealed
+// (flushed + fsynced) and a successor created before the append.
 func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 	defer w.appendDur.Time()()
 	w.mu.Lock()
@@ -187,8 +399,15 @@ func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 	if w.ioErr != nil {
 		return 0, fmt.Errorf("storage: wal damaged by earlier append failure: %w", w.ioErr)
 	}
+	if act := w.active(); act.size >= w.segBytes && act.firstLSN != 0 {
+		if err := w.rotateLocked(); err != nil {
+			return 0, fmt.Errorf("storage: wal rotate: %w", err)
+		}
+	}
+	w.gmu.Lock()
 	rec.LSN = w.nextLSN
 	w.nextLSN++
+	w.gmu.Unlock()
 	frame := encodeRecord(rec)
 	if fp := fault.Hit(fault.SiteWALAppend); fp != nil {
 		if fp.Torn >= 0 && fp.Torn < len(frame) {
@@ -203,13 +422,76 @@ func (w *WAL) Append(rec *LogRecord) (uint64, error) {
 		w.ioErr = err
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
+	act := w.active()
+	if act.firstLSN == 0 {
+		act.firstLSN = rec.LSN
+	}
+	act.lastLSN = rec.LSN
+	act.size += int64(len(frame))
+	w.appended += uint64(len(frame))
 	return rec.LSN, nil
+}
+
+// Rotate seals the active segment and installs an empty successor; a
+// no-op when the active segment holds no records yet. The fuzzy
+// checkpoint rotates first so everything logged before it sits in
+// sealed, prunable segments.
+func (w *WAL) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ioErr != nil {
+		return fmt.Errorf("storage: wal damaged by earlier append failure: %w", w.ioErr)
+	}
+	if w.active().firstLSN == 0 {
+		return nil
+	}
+	return w.rotateLocked()
+}
+
+// rotateLocked seals the active segment (flush + fsync, so every
+// sealed segment is fully durable and torn tails can only be in the
+// last segment) and installs an empty successor. A failure leaves the
+// old segment active and the log undamaged — the append that
+// triggered the rotation fails without consuming an LSN.
+func (w *WAL) rotateLocked() error {
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	act := w.active()
+	if err := w.fsync(act.f); err != nil {
+		return err
+	}
+	w.advanceDurable(act.lastLSN)
+	if fp := fault.Hit(fault.SiteWALRotate); fp != nil {
+		return fp.Err
+	}
+	seq := act.seq + 1
+	p := segPath(w.path, seq)
+	f, err := w.fs.OpenFile(p)
+	if err != nil {
+		return err
+	}
+	// A resurrected pruned file could leave stale bytes under this
+	// name; start the segment empty.
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	w.segs = append(w.segs, &walSegment{seq: seq, path: p, f: f})
+	w.w.Reset(f)
+	w.rotations.Inc()
+	w.updateSegMetricsLocked()
+	return nil
 }
 
 // Sync flushes buffered records and forces the log to stable storage.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
-	covered := w.nextLSN - 1
+	covered := w.NextLSN() - 1
 	err := w.syncLocked()
 	w.mu.Unlock()
 	if err == nil {
@@ -272,14 +554,18 @@ func (w *WAL) SyncTo(lsn uint64) error {
 		// uncontended log this is one scheduler call.
 		runtime.Gosched()
 		w.mu.Lock()
-		covered := w.nextLSN - 1
+		covered := w.NextLSN() - 1
 		err := w.flushLocked()
+		// Capture the active handle under w.mu: a rotation after the
+		// flush would retarget w.w, but the flushed records are in this
+		// handle (and rotation fsyncs it before switching anyway).
+		f := w.active().f
 		w.mu.Unlock()
 		if err == nil {
 			// The fsync runs off w.mu: committers keep appending (and
 			// joining the pending batch) while the disk works, which is
 			// what lets one round absorb a whole convoy.
-			err = w.fsync()
+			err = w.fsync(f)
 		}
 		w.gmu.Lock()
 		if err == nil && covered > w.durable {
@@ -323,11 +609,11 @@ func (w *WAL) syncLocked() error {
 	if err := w.flushLocked(); err != nil {
 		return err
 	}
-	return w.fsync()
+	return w.fsync(w.active().f)
 }
 
-// flushLocked drains the buffered writer into the file; the caller
-// holds w.mu.
+// flushLocked drains the buffered writer into the active segment; the
+// caller holds w.mu.
 func (w *WAL) flushLocked() error {
 	if w.ioErr != nil {
 		return fmt.Errorf("storage: wal damaged by earlier append failure: %w", w.ioErr)
@@ -341,16 +627,16 @@ func (w *WAL) flushLocked() error {
 	return err
 }
 
-// fsync forces the file to stable storage. It needs no lock: the
-// caller must already have flushed the records it cares about, and the
-// file handle tolerates a concurrent flush — any extra bytes the sync
-// happens to cover become durable early, which is harmless.
-func (w *WAL) fsync() error {
+// fsync forces f to stable storage. It needs no lock: the caller must
+// already have flushed the records it cares about, and the file handle
+// tolerates a concurrent flush — any extra bytes the sync happens to
+// cover become durable early, which is harmless.
+func (w *WAL) fsync(f fault.File) error {
 	if fp := fault.Hit(fault.SiteWALSync); fp != nil {
 		return fmt.Errorf("storage: wal fsync: %w", fp.Err)
 	}
 	stopSync := w.fsyncDur.Time()
-	err := w.f.Sync()
+	err := f.Sync()
 	stopSync()
 	if err != nil {
 		return err
@@ -372,14 +658,54 @@ func (w *WAL) GroupCommitStats() (requests, batches uint64, highwater int64) {
 	return w.groupReqs.Value(), w.groupBatches.Value(), w.batchHigh.Value()
 }
 
-// NextLSN reports the LSN the next appended record will receive.
+// NextLSN reports the LSN the next appended record will receive. It
+// takes only gmu, never w.mu: the buffer pool consults it as the
+// recLSN source from paths that already hold w.mu (recovery redo
+// inside a Records scan).
 func (w *WAL) NextLSN() uint64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.gmu.Lock()
+	defer w.gmu.Unlock()
 	return w.nextLSN
 }
 
-// Records calls fn for every valid record in the log, in LSN order.
+// AppendedBytes reports the total record bytes appended since open —
+// the background checkpointer's byte trigger.
+func (w *WAL) AppendedBytes() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// LastCheckpoint reports the most recent completed checkpoint, from
+// either the recovery scan or a CompleteCheckpoint this session.
+func (w *WAL) LastCheckpoint() (CheckpointInfo, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastCkpt, w.haveCkpt
+}
+
+// SegmentStats reports live segment count, their total bytes, and the
+// rotation/prune counters.
+func (w *WAL) SegmentStats() (segments int, bytes int64, rotations, prunes uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, s := range w.segs {
+		bytes += s.size
+	}
+	return len(w.segs), bytes, w.rotations.Value(), w.prunes.Value()
+}
+
+// RecoveryWindow reports how many segments the opening scan read and
+// how many the master record let it skip.
+func (w *WAL) RecoveryWindow() (scanned, skipped int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.openScanned, w.openSkipped
+}
+
+// Records calls fn for every valid record in the replay window (the
+// segments at or after the last completed checkpoint's start), in LSN
+// order.
 func (w *WAL) Records(fn func(LogRecord)) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -388,61 +714,170 @@ func (w *WAL) Records(fn func(LogRecord)) error {
 			return err
 		}
 	}
-	return w.scan(func(rec LogRecord, _ int64) { fn(rec) })
-}
-
-// Reset truncates the log after a checkpoint has made all effects
-// durable in the data file. The next LSN continues from keepLSN so
-// page LSNs remain monotone.
-func (w *WAL) Reset(keepLSN uint64) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.w.Flush(); err != nil {
-		return err
+	for i := w.replayFrom; i < len(w.segs); i++ {
+		if err := scanFile(w.segs[i].f, func(rec LogRecord, _ int64) { fn(rec) }); err != nil {
+			return err
+		}
 	}
-	if err := w.f.Truncate(0); err != nil {
-		return fmt.Errorf("storage: wal reset: %w", err)
-	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	w.w.Reset(w.f)
-	w.ioErr = nil // the damaged region, if any, was discarded
-	if keepLSN >= w.nextLSN {
-		w.nextLSN = keepLSN + 1
-	}
-	if err := w.f.Sync(); err != nil {
-		return err
-	}
-	// The truncated log holds nothing, and the checkpoint that
-	// triggered the reset made every earlier LSN stable in the data
-	// file: the durable frontier jumps to the end.
-	w.advanceDurable(w.nextLSN - 1)
 	return nil
 }
 
-// Close flushes and closes the log. The file handle is closed even
-// when the final flush or fsync fails, so Close never leaks a
+// CompleteCheckpoint finalizes a fuzzy checkpoint whose end record
+// (info.EndLSN) is already durable: it writes the master record so
+// recovery starts its scan at the segment containing RedoLSN, then
+// unlinks every fully covered segment. A failure here never damages
+// the log — the checkpoint merely reports failed and the next attempt
+// re-prunes.
+func (w *WAL) CompleteCheckpoint(info CheckpointInfo) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	start := len(w.segs) - 1
+	for i, s := range w.segs {
+		if s.lastLSN >= info.RedoLSN {
+			start = i
+			break
+		}
+	}
+	if err := w.writeMasterLocked(info, w.segs[start].seq); err != nil {
+		return err
+	}
+	w.lastCkpt, w.haveCkpt = info, true
+	// The master is durable: recovery will skip segments before start
+	// even if pruning fails or crashes partway.
+	w.replayFrom = start
+	for w.replayFrom > 0 {
+		s := w.segs[0]
+		if fp := fault.Hit(fault.SiteWALPrune); fp != nil {
+			w.updateSegMetricsLocked()
+			return fmt.Errorf("storage: wal prune %s: %w", s.path, fp.Err)
+		}
+		s.f.Close()
+		if err := w.fs.Remove(s.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			// The handle is gone but the chain must stay consistent:
+			// drop the segment to the stale list for the next attempt.
+			w.stale = append(w.stale, s.path)
+			w.segs = w.segs[1:]
+			w.replayFrom--
+			w.updateSegMetricsLocked()
+			return fmt.Errorf("storage: wal prune %s: %w", s.path, err)
+		}
+		w.segs = w.segs[1:]
+		w.replayFrom--
+		w.prunes.Inc()
+	}
+	for len(w.stale) > 0 {
+		p := w.stale[0]
+		if fp := fault.Hit(fault.SiteWALPrune); fp != nil {
+			w.updateSegMetricsLocked()
+			return fmt.Errorf("storage: wal prune %s: %w", p, fp.Err)
+		}
+		if err := w.fs.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			w.updateSegMetricsLocked()
+			return fmt.Errorf("storage: wal prune %s: %w", p, err)
+		}
+		w.stale = w.stale[1:]
+		w.prunes.Inc()
+	}
+	w.updateSegMetricsLocked()
+	return nil
+}
+
+// Master record framing: "RWCK" | u64 redo | u64 begin | u64 end |
+// u64 startSeq | u32 crc32 of the preceding 36 bytes.
+const masterLen = 4 + 8*4 + 4
+
+type masterRecord struct {
+	redoLSN  uint64
+	beginLSN uint64
+	endLSN   uint64
+	startSeq uint64
+}
+
+func (w *WAL) writeMasterLocked(info CheckpointInfo, startSeq uint64) error {
+	frame := make([]byte, 0, masterLen)
+	frame = append(frame, 'R', 'W', 'C', 'K')
+	frame = binary.LittleEndian.AppendUint64(frame, info.RedoLSN)
+	frame = binary.LittleEndian.AppendUint64(frame, info.BeginLSN)
+	frame = binary.LittleEndian.AppendUint64(frame, info.EndLSN)
+	frame = binary.LittleEndian.AppendUint64(frame, startSeq)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+	if fp := fault.Hit(fault.SiteCkptMaster); fp != nil {
+		if fp.Torn >= 0 && fp.Torn < len(frame) {
+			if f, err := w.fs.OpenFile(masterPath(w.path)); err == nil {
+				_, _ = f.WriteAt(frame[:fp.Torn], 0)
+				f.Close()
+			}
+		}
+		return fmt.Errorf("storage: checkpoint master: %w", fp.Err)
+	}
+	f, err := w.fs.OpenFile(masterPath(w.path))
+	if err != nil {
+		return fmt.Errorf("storage: checkpoint master: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(frame, 0); err != nil {
+		return fmt.Errorf("storage: checkpoint master: %w", err)
+	}
+	if err := f.Truncate(int64(len(frame))); err != nil {
+		return fmt.Errorf("storage: checkpoint master: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("storage: checkpoint master: %w", err)
+	}
+	return nil
+}
+
+// readMaster loads and validates the master record; any damage (torn
+// write at the crash, missing file) just disables the scan shortcut.
+func readMaster(fs fault.FS, path string) (masterRecord, bool) {
+	f, err := fs.OpenFile(path)
+	if err != nil {
+		return masterRecord{}, false
+	}
+	defer f.Close()
+	var frame [masterLen]byte
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, masterLen), frame[:]); err != nil {
+		return masterRecord{}, false
+	}
+	if string(frame[:4]) != "RWCK" {
+		return masterRecord{}, false
+	}
+	if crc32.ChecksumIEEE(frame[:masterLen-4]) != binary.LittleEndian.Uint32(frame[masterLen-4:]) {
+		return masterRecord{}, false
+	}
+	return masterRecord{
+		redoLSN:  binary.LittleEndian.Uint64(frame[4:12]),
+		beginLSN: binary.LittleEndian.Uint64(frame[12:20]),
+		endLSN:   binary.LittleEndian.Uint64(frame[20:28]),
+		startSeq: binary.LittleEndian.Uint64(frame[28:36]),
+	}, true
+}
+
+// Close flushes and closes the log. Every segment handle is closed
+// even when the final flush or fsync fails, so Close never leaks a
 // descriptor.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	serr := w.syncLocked()
-	cerr := w.f.Close()
+	var cerr error
+	for _, s := range w.segs {
+		if err := s.f.Close(); err != nil && cerr == nil {
+			cerr = err
+		}
+	}
 	if serr != nil {
 		return serr
 	}
 	return cerr
 }
 
-// scan reads records from the start of the file, invoking fn with each
-// valid record and the file offset just past it. A torn or corrupt
-// record ends the scan without error (it is the crash frontier).
-func (w *WAL) scan(fn func(rec LogRecord, end int64)) error {
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	r := bufio.NewReaderSize(w.f, 1<<16)
+// scanFile reads records from the start of f, invoking fn with each
+// valid record and the offset just past it. A torn or corrupt record
+// ends the scan without error (it is the crash frontier). The scan
+// reads through ReadAt so the handle's write position is untouched.
+func scanFile(f fault.File, fn func(rec LogRecord, end int64)) error {
+	r := bufio.NewReaderSize(io.NewSectionReader(f, 0, 1<<62), 1<<16)
 	var off int64
 	for {
 		rec, n, err := readRecord(r)
@@ -458,6 +893,56 @@ func (w *WAL) scan(fn func(rec LogRecord, end int64)) error {
 }
 
 var errBadChecksum = errors.New("storage: wal record checksum mismatch")
+
+// Checkpoint payload codecs. The begin record's After bytes carry the
+// active-transaction table (txn id -> first LSN), sorted by id for
+// deterministic framing; the end record's After bytes carry the
+// redoLSN and the matching begin record's LSN.
+
+func encodeATT(att map[uint64]uint64) []byte {
+	ids := make([]uint64, 0, len(att))
+	for id := range att {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(ids)))
+	for _, id := range ids {
+		out = binary.LittleEndian.AppendUint64(out, id)
+		out = binary.LittleEndian.AppendUint64(out, att[id])
+	}
+	return out
+}
+
+func decodeATT(b []byte) (map[uint64]uint64, bool) {
+	if len(b) < 4 {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if uint64(len(b)) != 4+uint64(n)*16 {
+		return nil, false
+	}
+	att := make(map[uint64]uint64, n)
+	for i := uint32(0); i < n; i++ {
+		off := 4 + i*16
+		att[binary.LittleEndian.Uint64(b[off:off+8])] = binary.LittleEndian.Uint64(b[off+8 : off+16])
+	}
+	return att, true
+}
+
+func encodeCkptEnd(info CheckpointInfo) []byte {
+	out := binary.LittleEndian.AppendUint64(nil, info.RedoLSN)
+	return binary.LittleEndian.AppendUint64(out, info.BeginLSN)
+}
+
+func decodeCkptEnd(b []byte) (CheckpointInfo, bool) {
+	if len(b) != 16 {
+		return CheckpointInfo{}, false
+	}
+	return CheckpointInfo{
+		RedoLSN:  binary.LittleEndian.Uint64(b[:8]),
+		BeginLSN: binary.LittleEndian.Uint64(b[8:16]),
+	}, true
+}
 
 // recFixedLen is the fixed part of a record payload: u64 lsn, u64
 // txn, u8 kind, u32 page, u16 slot. The minimum structurally valid

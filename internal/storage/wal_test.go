@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 func openTestWAL(t *testing.T) (*WAL, string) {
@@ -86,8 +88,9 @@ func TestWALTornTailTruncated(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the file by appending garbage (a torn final write).
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	// Corrupt the active segment by appending garbage (a torn final
+	// write).
+	f, err := os.OpenFile(segPath(path, 1), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,12 +134,12 @@ func TestWALCorruptMiddleStopsScan(t *testing.T) {
 	}
 	w.Close()
 	// Flip a byte inside the second record's payload.
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(segPath(path, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)/2] ^= 0xFF
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(segPath(path, 1), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	w2, err := OpenWAL(path)
@@ -151,29 +154,116 @@ func TestWALCorruptMiddleStopsScan(t *testing.T) {
 	}
 }
 
-func TestWALResetPreservesMonotoneLSN(t *testing.T) {
-	w, _ := openTestWAL(t)
-	defer w.Close()
-	var last uint64
-	for i := 0; i < 4; i++ {
-		last, _ = w.Append(&LogRecord{Txn: 1, Kind: LogInsert, RID: InvalidRID, After: []byte("x")})
-	}
-	if err := w.Reset(last); err != nil {
+func TestWALSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	// Tiny segments: every record is ~40 bytes, so a 128-byte cap
+	// rotates every few appends.
+	w, err := OpenWALSegmented(fault.OS{}, path, 128)
+	if err != nil {
 		t.Fatal(err)
 	}
-	n := 0
-	w.Records(func(LogRecord) { n++ })
-	if n != 0 {
-		t.Fatalf("after Reset: %d records, want 0", n)
+	defer w.Close()
+	var last uint64
+	for i := 0; i < 40; i++ {
+		last, err = w.Append(&LogRecord{Txn: 1, Kind: LogInsert, RID: InvalidRID, After: []byte("payload-payload")})
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
-	lsn, _ := w.Append(&LogRecord{Txn: 2, Kind: LogBegin, RID: InvalidRID})
+	segs, _, rotations, _ := w.SegmentStats()
+	if segs < 3 || rotations == 0 {
+		t.Fatalf("expected rotation: segs=%d rotations=%d", segs, rotations)
+	}
+	n := 0
+	var lastSeen uint64
+	if err := w.Records(func(r LogRecord) { n++; lastSeen = r.LSN }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 || lastSeen != last {
+		t.Fatalf("scan across segments: n=%d lastSeen=%d want 40/%d", n, lastSeen, last)
+	}
+}
+
+func TestWALCompleteCheckpointPrunesSegments(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := OpenWALSegmented(fault.OS{}, path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := w.Append(&LogRecord{Txn: 1, Kind: LogInsert, RID: InvalidRID, After: []byte("payload-payload")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint covering everything so far: only post-rotation
+	// segments survive.
+	redo, err := w.Append(&LogRecord{Txn: sysTxn, Kind: LogCkptBegin, RID: InvalidRID, After: encodeATT(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := w.Append(&LogRecord{Txn: sysTxn, Kind: LogCkptEnd, RID: InvalidRID,
+		After: encodeCkptEnd(CheckpointInfo{RedoLSN: redo, BeginLSN: redo})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before, _, _, _ := w.SegmentStats()
+	if err := w.CompleteCheckpoint(CheckpointInfo{RedoLSN: redo, BeginLSN: redo, EndLSN: end}); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _, prunes := w.SegmentStats()
+	if after >= before || prunes == 0 {
+		t.Fatalf("prune did not shrink the chain: before=%d after=%d prunes=%d", before, after, prunes)
+	}
+	last := w.NextLSN() - 1
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the master bounds the scan, LSNs stay monotone, and the
+	// checkpoint is rediscovered.
+	w2, err := OpenWALSegmented(fault.OS{}, path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.NextLSN() != last+1 {
+		t.Fatalf("NextLSN after reopen = %d, want %d", w2.NextLSN(), last+1)
+	}
+	info, ok := w2.LastCheckpoint()
+	if !ok || info.RedoLSN != redo || info.EndLSN != end {
+		t.Fatalf("LastCheckpoint = %+v/%v, want redo=%d end=%d", info, ok, redo, end)
+	}
+	n := 0
+	minLSN := uint64(0)
+	if err := w2.Records(func(r LogRecord) {
+		n++
+		if minLSN == 0 || r.LSN < minLSN {
+			minLSN = r.LSN
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || minLSN < redo {
+		t.Fatalf("replay window not bounded: n=%d minLSN=%d redo=%d", n, minLSN, redo)
+	}
+	lsn, err := w2.Append(&LogRecord{Txn: 2, Kind: LogBegin, RID: InvalidRID})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if lsn <= last {
-		t.Fatalf("post-reset LSN %d not > %d", lsn, last)
+		t.Fatalf("post-reopen LSN %d not > %d", lsn, last)
 	}
 }
 
 func TestLogKindString(t *testing.T) {
-	kinds := []LogKind{LogBegin, LogInsert, LogUpdate, LogDelete, LogCommit, LogAbort, LogCheckpoint}
+	kinds := []LogKind{LogBegin, LogInsert, LogUpdate, LogDelete, LogCommit, LogAbort, LogCheckpoint, LogCkptBegin, LogCkptEnd}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
