@@ -6,8 +6,9 @@ GO ?= go
 BENCH ?= $(shell ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
 BENCH_N ?= 2000
 BENCH_TOLERANCE ?= 1.0
+SOAK ?= 60s
 
-.PHONY: build test race vet lint analyze crash stress bench bench-diff all
+.PHONY: build test race vet lint analyze crash stress soak bench bench-diff all
 
 all: build vet test
 
@@ -73,3 +74,13 @@ stress:
 	$(GO) test -race -timeout 120s -count=1 \
 		-run 'TestWALGrowthBounded|TestStoreCheckpointWithActiveTxn|TestBackgroundCheckpointer' \
 		./internal/storage
+
+# soak runs the fault-armed overload soak under the race detector:
+# writers hammer a slow detached rule through the governor's full
+# degradation ladder while chaos waves break the checkpointer and
+# escalate synthetic load, asserting forward progress, bounded memory,
+# recovery to healthy, and a clean graceful shutdown. SOAK sets the
+# duration (default 60s); CI runs the 5s short-mode variant.
+soak:
+	REACH_SOAK=$(SOAK) $(GO) test -race -timeout 600s -count=1 \
+		-run TestOverloadSoak -v ./internal/core

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -26,7 +27,7 @@ func main() {
 		table1    = flag.Bool("table1", false, "regenerate Table 1 only")
 		figure1   = flag.Bool("figure1", false, "trace the Open OODB architecture (Figure 1)")
 		figure2   = flag.Bool("figure2", false, "trace the ECA message flow (Figure 2)")
-		run       = flag.String("run", "", "comma-separated experiment ids (E1..E13); empty = all")
+		run       = flag.String("run", "", "comma-separated experiment ids (E1..E14); empty = all")
 		n         = flag.Int("n", 5000, "events per measured configuration")
 		jsonOut   = flag.String("json", "", "write results to this BENCH_*.json perf-trajectory file")
 		diff      = flag.Bool("diff", false, "compare two BENCH_*.json files: reachbench -diff old.json new.json")
@@ -96,6 +97,9 @@ func main() {
 		{"E12", "storage substrate: WAL, commit force, recovery", func() []bench.Row { return bench.RunE12(*n) }},
 		{"E13", "contended commit path: group commit vs fsync-per-commit (§6)", func() []bench.Row {
 			return bench.RunE13(8, *n/10)
+		}},
+		{"E14", "overload governor: goodput and p99 at 1x/2x/4x offered load, on vs ablated (§6)", func() []bench.Row {
+			return bench.RunE14(2, 300*time.Millisecond)
 		}},
 	}
 	ids := make([]string, len(experiments))

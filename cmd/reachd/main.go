@@ -17,15 +17,17 @@
 //	index River level
 //	get Rhine level | set Rhine temp 26.5
 //	checkpoint                      (force a fuzzy checkpoint now)
-//	roots | classes | stats [metrics|trace <n>] | slowlog | history | quit
+//	roots | classes | stats [metrics|trace <n>] | health | slowlog | history | quit
 //
-// SIGINT/SIGTERM shut down gracefully: the rule executor is drained,
-// a final checkpoint is taken, and the store is closed cleanly.
+// SIGINT/SIGTERM shut down gracefully: the overload governor refuses
+// new admissions, the rule executor is drained, a final checkpoint is
+// taken, and the store is closed cleanly.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +54,8 @@ func main() {
 	slowThreshold := flag.Duration("slow-threshold", 250*time.Millisecond, "promote traces slower than this into the slow log (0 disables)")
 	slowCap := flag.Int("slow-log", 0, "slow-log capacity (0 = default 64)")
 	noGroupCommit := flag.Bool("no-group-commit", false, "fsync every commit individually instead of batching concurrent forces (ablation / debugging)")
+	gov := flag.Bool("governor", true, "enable the overload governor (false = ablation: no admission control or shedding)")
+	admitDeadline := flag.Duration("admit-deadline", 0, "how long a new write transaction may queue while shedding before ErrOverloaded (0 = default 250ms)")
 	flag.Parse()
 
 	engineOpts := reach.EngineOptions{
@@ -68,27 +72,27 @@ func main() {
 	}
 	opts := reach.Options{Dir: *dir, Engine: engineOpts}
 	opts.DB.Storage.DisableGroupCommit = *noGroupCommit
+	opts.Governor.Disabled = !*gov
+	opts.Governor.AdmitDeadline = *admitDeadline
 	sys, err := reach.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reachd:", err)
 		os.Exit(1)
 	}
 	defer sys.Close()
-	// Graceful shutdown on SIGINT/SIGTERM: drain the rule executor
-	// (bounded), then Close — which takes a final checkpoint and
-	// closes the store cleanly, so the next start recovers instantly.
+	// Graceful shutdown on SIGINT/SIGTERM: the governor refuses new
+	// admissions, the rule executor drains (bounded), a final
+	// checkpoint covers everything the drained rules wrote, and only
+	// then is the store closed — so the next start recovers instantly.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigCh
-		fmt.Fprintf(os.Stderr, "\nreachd: %v: draining rules, checkpointing, closing\n", sig)
+		fmt.Fprintf(os.Stderr, "\nreachd: %v: refusing admissions, draining rules, checkpointing, closing\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := sys.Drain(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "reachd: drain:", err)
-		}
-		if err := sys.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "reachd: close:", err)
+		if err := sys.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "reachd: shutdown:", err)
 			os.Exit(1)
 		}
 		os.Exit(0)
@@ -100,7 +104,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("admin: http://%s/  (/metrics /stats /traces /slowlog /checkpoint /failpoints /rules/deadletter /rules/breakers /debug/pprof)\n", addr)
+		fmt.Printf("admin: http://%s/  (/metrics /stats /health /traces /slowlog /checkpoint /failpoints /rules/deadletter /rules/breakers /debug/pprof)\n", addr)
 	}
 	fmt.Printf("build: %s %s (%s)\n", sys.Build.Module, sys.Build.Version, sys.Build.GoVersion)
 	fmt.Println("REACH shell — an integrated active OODBMS. Type 'help'.")
@@ -214,6 +218,8 @@ func repl(sys *reach.System, in io.Reader, out io.Writer) {
 			}
 		case "stats":
 			statsCmd(sys, out, args)
+		case "health":
+			healthCmd(sys, out)
 		case "slowlog":
 			slowLogCmd(sys, out, args)
 		case "deadletter":
@@ -376,6 +382,30 @@ func slowLogCmd(sys *reach.System, out io.Writer, args []string) {
 	}
 }
 
+// healthCmd prints the overload governor's view: overall state, each
+// registered resource against its watermarks, and shed/transition
+// counters — the same data the admin /health endpoint serves as JSON.
+func healthCmd(sys *reach.System, out io.Writer) {
+	snap := sys.Governor.Snapshot()
+	status := snap.State
+	if snap.Disabled {
+		status += " (governor disabled)"
+	}
+	if snap.Shutdown {
+		status += " (shutting down)"
+	}
+	fmt.Fprintf(out, "  state: %s\n", status)
+	for _, r := range snap.Resources {
+		fmt.Fprintf(out, "  %-22s %-10d [degraded>%d shedding>%d read-only>%d] %s\n",
+			r.Name, r.Value, r.Levels.Degraded, r.Levels.Shedding, r.Levels.ReadOnly, r.State)
+	}
+	fmt.Fprintf(out, "  sheds: detached=%d deferred=%d writer=%d\n",
+		snap.Sheds["detached"], snap.Sheds["deferred"], snap.Sheds["writer"])
+	fmt.Fprintf(out, "  transitions: healthy=%d degraded=%d shedding=%d read-only=%d\n",
+		snap.Transitions["healthy"], snap.Transitions["degraded"],
+		snap.Transitions["shedding"], snap.Transitions["read-only"])
+}
+
 // statsCmd prints the summary counters, the full Prometheus exposition
 // ("stats metrics"), or recent lifecycle traces ("stats trace <n>").
 func statsCmd(sys *reach.System, out io.Writer, args []string) {
@@ -452,6 +482,7 @@ func help(out io.Writer) {
   stats                         engine / sentry / storage counters
   stats metrics                 full metric registry (Prometheus text)
   stats trace <n>               last n event-lifecycle traces
+  health                        overload governor state, resource watermarks, shed counters
   slowlog [clear | threshold <dur>]   slow-transaction log with latency attribution
   deadletter [clear]            inspect / empty the rule dead-letter queue
   rules graph                   triggering graph, cycles, cascade-depth bound
@@ -511,11 +542,29 @@ func defineClass(sys *reach.System, out io.Writer, args []string) error {
 	return nil
 }
 
+// beginWrite starts an admission-controlled transaction for a write
+// command. Under overload the governor may park the admission briefly
+// and then refuse it; the shell surfaces that as a retryable error
+// rather than silently queueing work the system cannot absorb.
+func beginWrite(sys *reach.System) (*reach.Txn, error) {
+	tx, err := sys.BeginTxn()
+	if err != nil {
+		if errors.Is(err, reach.ErrOverloaded) {
+			return nil, fmt.Errorf("%w (check 'health'; retry with backoff)", err)
+		}
+		return nil, err
+	}
+	return tx, nil
+}
+
 func newObject(sys *reach.System, out io.Writer, args []string) error {
 	if len(args) != 1 && !(len(args) == 3 && args[1] == "as") {
 		return fmt.Errorf("usage: new <Class> [as <root>]")
 	}
-	tx := sys.Begin()
+	tx, err := beginWrite(sys)
+	if err != nil {
+		return err
+	}
 	obj, err := sys.DB.NewObject(tx, args[0])
 	if err != nil {
 		_ = tx.Abort() // secondary to the reported error
@@ -538,7 +587,13 @@ func objectCmd(sys *reach.System, out io.Writer, cmd string, args []string) erro
 	if len(args) < 1 {
 		return fmt.Errorf("usage: %s <root> ...", cmd)
 	}
-	tx := sys.Begin()
+	var tx *reach.Txn
+	var err error
+	if cmd == "get" {
+		tx = sys.Begin() // reads stay admitted even when shedding writers
+	} else if tx, err = beginWrite(sys); err != nil {
+		return err
+	}
 	obj, err := sys.DB.Root(tx, args[0])
 	if err != nil {
 		_ = tx.Abort() // secondary to the reported error

@@ -1,16 +1,21 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic" //lint:allow rawatomics E14's per-run load counters are local measurement accumulators, not metrics
 	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/eca"
 	"repro/internal/event"
+	"repro/internal/governor"
 	"repro/internal/layered"
 	"repro/internal/oodb"
 	"repro/internal/storage"
@@ -721,5 +726,163 @@ func RunE13(g, commits int) []Row {
 		return row
 	}
 	rows = append(rows, flow(false), flow(true))
+	return rows
+}
+
+// RunE14 measures goodput and tail latency under offered load at 1x,
+// 2x, and 4x the detached-pool capacity, with the overload governor
+// on and ablated off. Each client drives admitted transactions whose
+// monitored method triggers one rule per coupling mode — the detached
+// one slow enough that the pool, not the lock table, is the
+// bottleneck. With the governor on, excess load is refused at
+// admission or shed from the detached pool and goodput holds near
+// capacity; ablated off, raisers park on the full pool queue while
+// holding their write locks and the system wedges until drained.
+//
+// Rows report goodput, refusals, sheds, and commit p99 in Extra and
+// carry NsPerOp 0: an overload experiment measures refusal policy
+// under saturation, not a per-op time the trajectory gate should pin.
+func RunE14(baseClients int, window time.Duration) []Row {
+	run := func(disabled bool, mult int) Row {
+		sys, err := core.Open(core.Options{
+			Governor: governor.Options{
+				Disabled:      disabled,
+				Hysteresis:    50 * time.Millisecond,
+				AdmitDeadline: 10 * time.Millisecond,
+				Interval:      2 * time.Millisecond,
+			},
+			Engine: eca.Options{Workers: 2, Queue: 16},
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer sys.Close()
+		tank := oodb.NewClass("Tank", oodb.Attr{Name: "level", Type: oodb.TInt})
+		tank.Monitored = true
+		var fills atomic.Int64
+		tank.Method("fill", func(ctx *oodb.Ctx, self *oodb.Object, args []any) (any, error) {
+			return nil, ctx.Set(self, "level", fills.Add(1))
+		})
+		tank.Method("noop", func(*oodb.Ctx, *oodb.Object, []any) (any, error) {
+			return nil, nil
+		})
+		tank.Method("slow", func(*oodb.Ctx, *oodb.Object, []any) (any, error) {
+			time.Sleep(time.Millisecond)
+			return nil, nil
+		})
+		if err := sys.RegisterClass(tank); err != nil {
+			panic(err)
+		}
+		if _, err := sys.LoadRules(`
+rule E14Imm { prio 5; decl Tank *t; event after t->fill(); action imm t->noop(); };
+rule E14Def { prio 4; decl Tank *t; event after t->fill(); action deferred t->noop(); };
+rule E14Det { prio 3; decl Tank *t; event after t->fill(); action detached t->slow(); };
+`); err != nil {
+			panic(err)
+		}
+		clients := baseClients * mult
+		// The detached pool absorbs workers/slow() fills per second;
+		// pace each client so the offered fill rate is mult times
+		// that. The loop is closed (pacing starts after the previous
+		// attempt returns), so admission-deadline waits under overload
+		// throttle the offered load the way a real client's would.
+		capacity := 2 * int(time.Second/time.Millisecond)
+		pace := time.Duration(clients) * time.Second / time.Duration(mult*capacity)
+		tanks := make([]*oodb.Object, clients)
+		setup := sys.Begin()
+		for i := range tanks {
+			obj, err := sys.DB.NewObject(setup, "Tank")
+			if err != nil {
+				panic(err)
+			}
+			tanks[i] = obj
+		}
+		if err := setup.Commit(); err != nil {
+			panic(err)
+		}
+
+		var committed, refused, attempts atomic.Int64
+		lats := make([][]time.Duration, clients)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					attempts.Add(1)
+					t0 := time.Now()
+					tx, err := sys.BeginTxn()
+					if err != nil {
+						// ErrOverloaded (admission refused) or
+						// ErrShutdown once the drain below begins.
+						refused.Add(1)
+						continue
+					}
+					if _, err := sys.DB.Invoke(tx, tanks[w], "fill"); err != nil {
+						// Detached spawn refused mid-drain; abort and
+						// let the stop check above end the loop.
+						_ = tx.Abort()
+						continue
+					}
+					if err := tx.Commit(); err != nil {
+						continue
+					}
+					committed.Add(1)
+					lats[w] = append(lats[w], time.Since(t0))
+					time.Sleep(pace)
+				}
+			}()
+		}
+		time.Sleep(window)
+		close(stop)
+		elapsed := time.Since(start)
+		// Drain before joining: with the governor ablated, clients can
+		// be parked on the full detached queue while holding their
+		// write locks — the wedge this experiment exists to show — and
+		// only the drain signal unparks them.
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = sys.Drain(dctx)
+		cancel()
+		wg.Wait()
+
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		p99 := time.Duration(0)
+		if len(all) > 0 {
+			p99 = all[len(all)*99/100]
+		}
+		sheds := sys.Governor.Sheds()
+		label := "governor on"
+		if disabled {
+			label = "governor off (ablated)"
+		}
+		row := Row{
+			Experiment: "E14-overload",
+			Config:     fmt.Sprintf("offered %dx capacity, %d clients, %s", mult, clients, label),
+			Ops:        int(attempts.Load()),
+		}
+		row.Extra = fmt.Sprintf(
+			"goodput=%d/s p99=%s committed=%d refused=%d sheds=detached:%d,deferred:%d,writer:%d",
+			int64(float64(committed.Load())/elapsed.Seconds()), p99.Round(10*time.Microsecond),
+			committed.Load(), refused.Load(), sheds[0], sheds[1], sheds[2])
+		return row
+	}
+	var rows []Row
+	for _, disabled := range []bool{false, true} {
+		for _, mult := range []int{1, 2, 4} {
+			rows = append(rows, run(disabled, mult))
+		}
+	}
 	return rows
 }

@@ -17,7 +17,11 @@ func deadLetterHandler(e *eca.Engine) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodGet:
-			writeAdminJSON(w, map[string]any{"deadletter": e.DeadLetters()})
+			_, deadEvicted := e.EvictedCounts()
+			writeAdminJSON(w, map[string]any{
+				"deadletter": e.DeadLetters(),
+				"evicted":    deadEvicted,
+			})
 		case http.MethodPost:
 			if r.FormValue("action") != "clear" {
 				http.Error(w, "unsupported action (want action=clear)", http.StatusBadRequest)
@@ -39,7 +43,11 @@ func breakerHandler(e *eca.Engine) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodGet:
-			writeAdminJSON(w, map[string]any{"breakers": e.Breakers()})
+			breakerEvicted, _ := e.EvictedCounts()
+			writeAdminJSON(w, map[string]any{
+				"breakers": e.Breakers(),
+				"evicted":  breakerEvicted,
+			})
 		case http.MethodPost:
 			name := r.FormValue("rearm")
 			if name == "" {

@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/eca"
 	"repro/internal/fault"
+	"repro/internal/governor"
 	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/query"
@@ -32,6 +34,10 @@ type Options struct {
 	DB oodb.Options
 	// Engine tunes the rule engine.
 	Engine eca.Options
+	// Governor tunes the overload governor (watermark hysteresis,
+	// admission deadline, evaluation interval, or Disabled for the
+	// ablation arm). Clock and Metrics are wired by Open.
+	Governor governor.Options
 	// StrictRules gates LoadRules on the whole-ruleset interaction
 	// analysis: a source whose addition would leave the accumulated
 	// rule set with unsuppressed termination, confluence-error, or
@@ -52,6 +58,10 @@ type System struct {
 	// Build identifies the running binary (also exposed as the
 	// reach_build_info gauge).
 	Build obs.BuildInfo
+	// Governor is the system-wide overload governor: every subsystem's
+	// load gauges registered in one place, the health state machine
+	// derived from them, and the admission gate new writers pass.
+	Governor *governor.Governor
 
 	strictRules bool
 
@@ -99,6 +109,7 @@ func Open(opts Options) (*System, error) {
 	engineOpts := opts.Engine
 	engineOpts.Metrics = reg
 	engine := eca.New(db, engineOpts)
+	gov := newGovernor(opts, db, engine, reg)
 	return &System{
 		DB:          db,
 		Engine:      engine,
@@ -106,8 +117,72 @@ func Open(opts Options) (*System, error) {
 		Metrics:     reg,
 		Tracer:      engine.Tracer(),
 		Build:       build,
+		Governor:    gov,
 		strictRules: opts.StrictRules,
 	}, nil
+}
+
+// newGovernor assembles the overload governor: each subsystem's load
+// gauges registered with default watermarks, the enforcement hooks
+// installed at the choke points (writer admission, detached spawn,
+// deferred drain, trace minting), and the evaluation loop started.
+// Watermarks are retunable live via Governor.SetLevels.
+func newGovernor(opts Options, db *oodb.DB, engine *eca.Engine, reg *obs.Registry) *governor.Governor {
+	govOpts := opts.Governor
+	if govOpts.Clock == nil && opts.Clock != nil {
+		govOpts.Clock = opts.Clock
+	}
+	govOpts.Metrics = reg
+	gov := governor.New(govOpts)
+
+	queue := int64(opts.Engine.Queue)
+	if queue <= 0 {
+		queue = 256 // the engine's Queue default
+	}
+	tm := db.TxnManager()
+	// Visibility-only resources (zero watermarks): accounted in
+	// /health but never driving the state. Dead-letter depth is
+	// deliberately among them — the governor's own sheds are
+	// dead-lettered, so watermarking the queue would create a
+	// shed → dead-letter → degraded feedback loop that blocks
+	// recovery to healthy after load drops.
+	gov.Register("txn-active", tm.ActiveTopLevel, governor.Levels{})
+	gov.Register("history-bytes", engine.HistoryBytes, governor.Levels{})
+	gov.Register("deadletter-depth", engine.DeadLetterDepth, governor.Levels{})
+	// The detached backlog degrades at one queue's worth of unfinished
+	// work (the pool is saturated: shedding detached firings is
+	// cheaper than queueing them into a convoy) and sheds at two.
+	gov.Register("detached-backlog", engine.DetachedBacklog,
+		governor.Levels{Degraded: queue, Shedding: 2 * queue})
+	// Deferred work is bounded per transaction by MaxDeferredRounds
+	// but not across transactions; watermark the aggregate.
+	gov.Register("deferred-depth", engine.DeferredDepth,
+		governor.Levels{Degraded: 4 * queue, Shedding: 16 * queue})
+	if opts.Dir != "" {
+		// Storage backpressure: a checkpointer falling behind the write
+		// rate shows up as WAL bytes past the byte trigger. Degrading
+		// before the WAL-growth bound trips gives the checkpointer CPU
+		// and I/O back while admitted work still completes.
+		if _, trigger := db.CheckpointLag(); trigger > 0 {
+			gov.Register("wal-checkpoint-lag",
+				func() int64 { lag, _ := db.CheckpointLag(); return lag },
+				governor.Levels{Degraded: 4 * trigger, Shedding: 16 * trigger})
+		}
+		gov.Register("checkpointer-degraded", func() int64 {
+			if db.CheckpointHealth().Degraded {
+				return 1
+			}
+			return 0
+		}, governor.Levels{Degraded: 1})
+	}
+
+	tm.SetAdmission(gov.AdmitTxn)
+	engine.SetGovernor(gov)
+	engine.Dispatcher().SetShedProbe(func() bool {
+		return gov.State() >= governor.Degraded
+	})
+	gov.Start()
+	return gov
 }
 
 // Admin returns the HTTP observability surface over the system's
@@ -128,6 +203,7 @@ func (s *System) Admin() *obs.Admin {
 		}
 	})
 	a.Handle("/failpoints", fault.Handler())
+	a.Handle("/health", s.Governor.Handler())
 	a.Handle("/rules/deadletter", deadLetterHandler(s.Engine))
 	a.Handle("/rules/breakers", breakerHandler(s.Engine))
 	a.Handle("/slowlog", s.Engine.SlowLog().Handler())
@@ -140,8 +216,31 @@ func (s *System) Admin() *obs.Admin {
 // in-flight rule transaction. Close completes the shutdown.
 func (s *System) Drain(ctx context.Context) error { return s.Engine.Drain(ctx) }
 
-// Begin starts a top-level transaction.
+// Shutdown is the graceful-shutdown sequence, in dependency order:
+// the governor refuses new admissions (so nothing races the drain),
+// the supervised executor drains so in-flight detached rule work
+// commits, a final checkpoint makes that work cheap to recover, and
+// Close tears the system down. Every step runs even if an earlier one
+// errs — a failed drain must not skip the checkpoint, and a failed
+// checkpoint must not leak the engine's goroutines; the joined error
+// reports whatever went wrong.
+func (s *System) Shutdown(ctx context.Context) error {
+	s.Governor.BeginShutdown()
+	derr := s.Engine.Drain(ctx)
+	cerr := s.DB.Checkpoint()
+	return errors.Join(derr, cerr, s.Close())
+}
+
+// Begin starts a top-level transaction, bypassing admission control.
+// Internal and read-only work uses it; client writers should go
+// through BeginTxn.
 func (s *System) Begin() *txn.Txn { return s.DB.Begin() }
+
+// BeginTxn starts a top-level transaction through the governor's
+// admission gate: under overload it blocks up to the admission
+// deadline and then fails with governor.ErrOverloaded — the caller's
+// signal to back off and retry.
+func (s *System) BeginTxn() (*txn.Txn, error) { return s.DB.BeginAdmitted() }
 
 // RegisterClass registers a class descriptor in the data dictionary.
 func (s *System) RegisterClass(c *oodb.Class) error { return s.DB.Dictionary().Register(c) }
@@ -238,5 +337,6 @@ func (s *System) ruleWorld() *analysis.World {
 func (s *System) Close() error {
 	s.Engine.WaitDetached()
 	s.Engine.Close()
+	s.Governor.Stop()
 	return s.DB.Close()
 }

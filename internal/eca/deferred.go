@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/governor"
 	"repro/internal/txn"
 )
 
@@ -44,6 +45,7 @@ func (e *Engine) enqueueDeferred(top *txn.Txn, r *Rule, in *event.Instance) {
 	q.mu.Lock()
 	q.entries = append(q.entries, deferredEntry{rule: r, in: in, at: e.clk.Now()})
 	q.mu.Unlock()
+	e.met.deferredDepth.Add(1)
 }
 
 // enqueueDeferredAction queues only the action part (the condition was
@@ -54,6 +56,7 @@ func (e *Engine) enqueueDeferredAction(top *txn.Txn, r *Rule, in *event.Instance
 	q.mu.Lock()
 	q.entries = append(q.entries, deferredEntry{rule: r, in: in, at: e.clk.Now(), actionOnly: true})
 	q.mu.Unlock()
+	e.met.deferredDepth.Add(1)
 }
 
 // runDeferred drains the top-level transaction's deferred queue at
@@ -77,6 +80,21 @@ func (e *Engine) runDeferred(top *txn.Txn) error {
 		q.mu.Unlock()
 		if len(batch) == 0 {
 			return nil
+		}
+		e.met.deferredDepth.Add(-int64(len(batch)))
+		// The governor's second shed rung: from the shedding state on,
+		// the whole batch is dead-lettered instead of executed and the
+		// triggering transaction commits without it. Deferred rules run
+		// in subtransactions of the trigger, so the only semantics lost
+		// is the rule work itself — which is exactly what the record in
+		// the dead-letter queue preserves for replay. Immediate rules
+		// are untouched: they already ran inline, inside the trigger.
+		if g := e.gov; g != nil && g.ShouldShed(governor.ClassDeferred) {
+			for _, entry := range batch {
+				g.NoteShed(governor.ClassDeferred)
+				e.exec.addDeadLetter(entry.rule, entry.in, 0, governor.ErrOverloaded, "governor-shed")
+			}
+			continue
 		}
 		e.met.rounds.Inc()
 		e.met.roundDepth.SetMax(int64(round + 1))
@@ -140,6 +158,23 @@ func (e *Engine) runDeferredBatch(top *txn.Txn, batch []deferredEntry) error {
 		}
 	}
 	return nil
+}
+
+// dropDeferred discards an aborting transaction's queued deferred
+// work — the firings die with their trigger — and releases the
+// governor's depth accounting for them.
+func (e *Engine) dropDeferred(top *txn.Txn) {
+	q, ok := top.Value(deferredKey{}).(*deferredQueue)
+	if !ok {
+		return
+	}
+	q.mu.Lock()
+	n := len(q.entries)
+	q.entries = nil
+	q.mu.Unlock()
+	if n > 0 {
+		e.met.deferredDepth.Add(-int64(n))
+	}
 }
 
 // runActionOnly executes just the action part of a rule whose

@@ -12,6 +12,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/clock"
 	"repro/internal/event"
+	"repro/internal/governor"
 	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/sentry"
@@ -224,6 +225,15 @@ type engineMetrics struct {
 	deadDepth     *obs.Gauge
 	execQueue     *obs.Gauge
 	execQueueHigh *obs.Gauge
+
+	// overload-governor resource series: live accounting the governor
+	// reads on its evaluation interval, plus the shed rejections.
+	deferredDepth  *obs.Gauge
+	execInflight   *obs.Gauge
+	historyBytes   *obs.Gauge
+	rejGovernor    *obs.Counter
+	breakerEvicted *obs.Counter
+	deadEvicted    *obs.Counter
 }
 
 func newEngineMetrics(reg *obs.Registry) engineMetrics {
@@ -288,6 +298,17 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 			"Detached executor queue depth at last submit/dequeue."),
 		execQueueHigh: reg.Gauge("reach_executor_queue_highwater",
 			"High-water mark of the detached executor queue depth."),
+		deferredDepth: reg.Gauge("reach_deferred_queue_depth",
+			"Deferred firings queued across all live transactions."),
+		execInflight: reg.Gauge("reach_executor_inflight",
+			"Accepted detached firings not yet finished (queued or running)."),
+		historyBytes: reg.Gauge("reach_event_history_bytes",
+			"Approximate bytes held across all event-history shards (local and global)."),
+		rejGovernor: reg.Counter(rejected, rejectedHelp, "reason", "governor-shed"),
+		breakerEvicted: reg.Counter("reach_rule_breaker_evicted_total",
+			"Circuit-breaker records garbage-collected when their rule was unloaded."),
+		deadEvicted: reg.Counter("reach_rule_deadletter_evicted_total",
+			"Dead-letter entries garbage-collected when their rule was unloaded."),
 	}
 }
 
@@ -323,6 +344,11 @@ type Engine struct {
 
 	exec   *executor
 	closed atomic.Bool
+
+	// gov, when installed, is the overload governor the shed points
+	// (detached spawn, deferred drain) consult. Set once at wiring
+	// time, before traffic, like the txn listener.
+	gov *governor.Governor
 
 	tempMu    sync.Mutex
 	temporals map[*TemporalHandle]struct{}
@@ -360,6 +386,9 @@ func New(db *oodb.DB, opts Options) *Engine {
 		tracer:       tracer,
 		met:          newEngineMetrics(reg),
 	}
+	// Every history (global and per-manager local) shares one byte
+	// gauge so the governor sees total history footprint in one read.
+	e.hist.bytes = e.met.historyBytes
 	e.slowLog = obs.NewSlowLog(opts.SlowLogCapacity, opts.SlowLogThreshold)
 	e.slowLog.Instrument(reg)
 	tracer.SetSlowLog(e.slowLog)
@@ -376,6 +405,45 @@ func New(db *oodb.DB, opts Options) *Engine {
 // Metrics exposes the engine's metric registry — the one shared with
 // the sentry dispatcher and the transaction manager.
 func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// SetGovernor installs the overload governor the engine's shed points
+// consult: detached spawns are shed from the degraded state, deferred
+// batches from shedding. Call it at wiring time, before traffic; nil
+// (the default) sheds nothing. Immediate-coupled rules are never
+// routed through the governor — they run inside the triggering
+// transaction and abort with it (Table 1), so shedding them would
+// silently change transaction semantics.
+func (e *Engine) SetGovernor(g *governor.Governor) { e.gov = g }
+
+// shedTraces reports whether trace minting is currently shed: the
+// governor's lightest degradation, taken from the degraded state on.
+func (e *Engine) shedTraces() bool {
+	g := e.gov
+	return g != nil && g.State() >= governor.Degraded
+}
+
+// DeferredDepth reports deferred firings queued across all live
+// transactions — a governor resource.
+func (e *Engine) DeferredDepth() int64 { return e.met.deferredDepth.Value() }
+
+// DetachedBacklog reports accepted detached firings not yet finished
+// (queued or running) — a governor resource.
+func (e *Engine) DetachedBacklog() int64 { return e.met.execInflight.Value() }
+
+// HistoryBytes reports the approximate byte footprint of every event
+// history (global plus per-manager locals) — a governor resource.
+func (e *Engine) HistoryBytes() int64 { return e.met.historyBytes.Value() }
+
+// DeadLetterDepth reports the current dead-letter queue depth — a
+// governor resource.
+func (e *Engine) DeadLetterDepth() int64 { return e.met.deadDepth.Value() }
+
+// EvictedCounts reports how many breaker records and dead-letter
+// entries rule unload/replace garbage-collected (the /rules/* GC
+// surface).
+func (e *Engine) EvictedCounts() (breakers, deadLetters uint64) {
+	return e.met.breakerEvicted.Value(), e.met.deadEvicted.Value()
+}
 
 // Tracer exposes the engine's event-lifecycle tracer.
 func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
@@ -507,6 +575,7 @@ func (e *Engine) managerLocked(key string, kind event.Kind) *Manager {
 		return m
 	}
 	m := &Manager{key: key, kind: kind, local: newShardedHistory(e.opts.LocalHistorySize)}
+	m.local.bytes = e.met.historyBytes
 	e.managers[key] = m
 	snap := make(map[string]*Manager, len(e.managers))
 	for k, v := range e.managers {
@@ -636,6 +705,12 @@ func (e *Engine) RemoveRule(eventKey, name string) bool {
 	if !found {
 		return false
 	}
+	// GC the executor state keyed by the rule's name: its breaker
+	// record and dead letters would otherwise accumulate forever in a
+	// long-lived process with rule churn — and a replacement rule
+	// registered under the same name must not inherit its
+	// predecessor's failure streak.
+	e.exec.evictRule(name)
 	switch kindOfKey(eventKey) {
 	case event.KindMethod, event.KindState:
 		e.disp.Unsubscribe(eventKey)
@@ -740,9 +815,11 @@ func (e *Engine) Consume(in *event.Instance) error {
 	if m == nil {
 		return nil
 	}
-	if in.Trace == 0 {
+	if in.Trace == 0 && !e.shedTraces() {
 		// Flow-control and temporal events enter here without passing
 		// the sentry dispatcher; mint their trace at the engine door.
+		// Under overload, minting is skipped — same policy as the
+		// sentry's shed probe: observability is shed before work is.
 		in.Trace = e.tracer.Begin(in.SpecKey, e.clk.Now())
 	}
 	start := e.clk.Now()

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/governor"
 	"repro/internal/txn"
 )
 
@@ -154,6 +155,7 @@ func (x *executor) submit(job ruleJob) error {
 	}
 	x.inflight++
 	x.mu.Unlock()
+	x.e.met.execInflight.Add(1)
 	if x.e.opts.Overload == OverloadShed {
 		select {
 		case x.queue <- job:
@@ -162,11 +164,33 @@ func (x *executor) submit(job ruleJob) error {
 			return ErrOverload
 		}
 	} else {
-		select {
-		case x.queue <- job:
-		case <-x.drainCh:
-			x.jobDone()
-			return ErrDraining
+	enqueue:
+		for {
+			// The raiser may be parked here while holding its
+			// transaction's locks — locks the queued detached rules may
+			// need to run. The governor breaks that cycle: every state
+			// transition wakes the park to re-check the shed ladder, so
+			// once the backlog (which counts this parked reservation)
+			// degrades the system, the spawn sheds instead of waiting.
+			// Channel fetch precedes the ladder check so a transition
+			// between the two cannot be missed. Without a governor
+			// stateCh is nil and this is plain bounded backpressure.
+			var stateCh <-chan struct{}
+			if g := x.e.gov; g != nil {
+				stateCh = g.StateChanged()
+				if g.ShouldShed(governor.ClassDetached) {
+					x.jobDone()
+					return governor.ErrOverloaded
+				}
+			}
+			select {
+			case x.queue <- job:
+				break enqueue
+			case <-x.drainCh:
+				x.jobDone()
+				return ErrDraining
+			case <-stateCh:
+			}
 		}
 	}
 	depth := int64(len(x.queue))
@@ -180,6 +204,7 @@ func (x *executor) jobDone() {
 	x.mu.Lock()
 	x.inflight--
 	x.mu.Unlock()
+	x.e.met.execInflight.Add(-1)
 	x.cond.Broadcast()
 }
 
@@ -296,6 +321,41 @@ func (x *executor) addDeadLetter(r *Rule, in *event.Instance, attempts int, err 
 	x.mu.Unlock()
 	x.e.met.deadLetters.Inc()
 	x.e.met.deadDepth.Set(int64(depth))
+}
+
+// evictRule garbage-collects executor state keyed by an unloaded
+// rule's name: its breaker record and its dead-letter entries. A
+// long-lived process with rule churn would otherwise leak breaker
+// entries, and a replacement rule registered under the same name
+// would inherit its predecessor's failure streak.
+func (x *executor) evictRule(name string) {
+	x.mu.Lock()
+	b := x.breakers[name]
+	hadBreaker := b != nil
+	wasOpen := hadBreaker && b.open
+	delete(x.breakers, name)
+	kept := x.dead[:0]
+	evicted := 0
+	for _, dl := range x.dead {
+		if dl.Rule == name {
+			evicted++
+			continue
+		}
+		kept = append(kept, dl)
+	}
+	x.dead = kept
+	depth := len(x.dead)
+	x.mu.Unlock()
+	if wasOpen {
+		x.e.met.breakerOpen.Add(-1)
+	}
+	if hadBreaker {
+		x.e.met.breakerEvicted.Inc()
+	}
+	if evicted > 0 {
+		x.e.met.deadEvicted.Add(uint64(evicted))
+		x.e.met.deadDepth.Set(int64(depth))
+	}
 }
 
 // runJob drives one detached firing through its attempt loop:
@@ -459,8 +519,19 @@ func (x *executor) backoff(attempt int) bool {
 // that "may begin in parallel" (§3.2), then admission under the
 // overload policy. Only accepted firings count as fired.
 func (e *Engine) spawnDetached(r *Rule, in *event.Instance) {
-	in.Retain() // the detached worker reads it after the raiser returns
 	x := e.exec
+	// The governor's first shed rung: from the degraded state on,
+	// detached firings are dropped before any work is reserved. The
+	// loss is recorded in the dead-letter queue — detached rules are
+	// independent top-level transactions (Table 1), so dropping one
+	// never changes the triggering transaction's outcome.
+	if g := e.gov; g != nil && g.ShouldShed(governor.ClassDetached) {
+		g.NoteShed(governor.ClassDetached)
+		e.met.rejGovernor.Inc()
+		x.addDeadLetter(r, in, 0, governor.ErrOverloaded, "governor-shed")
+		return
+	}
+	in.Retain() // the detached worker reads it after the raiser returns
 	if x.breakerOpen(r.Name) {
 		e.met.rejBreaker.Inc()
 		x.addDeadLetter(r, in, 0, ErrBreakerOpen, "breaker-open")
@@ -480,10 +551,19 @@ func (e *Engine) spawnDetached(r *Rule, in *event.Instance) {
 		if job.t != nil {
 			_ = job.t.AbortWith(err)
 		}
-		if errors.Is(err, ErrOverload) {
+		switch {
+		case errors.Is(err, governor.ErrOverloaded):
+			// Shed out of a blocked park: the system degraded while
+			// this spawn waited for queue space.
+			if g := e.gov; g != nil {
+				g.NoteShed(governor.ClassDetached)
+			}
+			e.met.rejGovernor.Inc()
+			x.addDeadLetter(r, in, 0, err, "governor-shed")
+		case errors.Is(err, ErrOverload):
 			e.met.rejOverload.Inc()
 			x.addDeadLetter(r, in, 0, err, "overload")
-		} else {
+		default:
 			e.met.rejDraining.Inc()
 		}
 		return

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic" //lint:allow rawatomics history shard round-robin counter, not metrics
 	"time"
+
+	"repro/internal/obs"
 )
 
 // HistoryEntry is one recorded event occurrence.
@@ -31,14 +33,28 @@ func newHistoryRing(capacity int) *historyRing {
 	return &historyRing{buf: make([]HistoryEntry, capacity)}
 }
 
-func (r *historyRing) append(e HistoryEntry) {
+// historyEntryOverhead approximates the fixed in-memory cost of one
+// HistoryEntry (struct fields plus string header); the key's bytes
+// are added on top. Exactness does not matter — the governor needs a
+// monotone footprint signal, not an allocator audit.
+const historyEntryOverhead = 64
+
+func entrySize(e HistoryEntry) int64 {
+	return historyEntryOverhead + int64(len(e.Key))
+}
+
+// append records e and returns the ring's byte-footprint delta
+// (negative contributions come from the entry an insert evicts).
+func (r *historyRing) append(e HistoryEntry) int64 {
 	if r.n < len(r.buf) {
 		r.buf[(r.start+r.n)%len(r.buf)] = e
 		r.n++
-		return
+		return entrySize(e)
 	}
+	delta := entrySize(e) - entrySize(r.buf[r.start])
 	r.buf[r.start] = e
 	r.start = (r.start + 1) % len(r.buf)
+	return delta
 }
 
 func (r *historyRing) entries() []HistoryEntry {
@@ -78,6 +94,11 @@ type shardedHistory struct {
 	ctr    atomic.Uint64
 	mask   uint64
 	shards []historyShard
+	// bytes accumulates the rings' approximate footprint. The engine
+	// points every history (global and per-manager local) at one
+	// shared gauge so the governor reads total footprint in one load;
+	// standalone histories get a private gauge.
+	bytes *obs.Gauge
 }
 
 type historyShard struct {
@@ -96,7 +117,7 @@ func newShardedHistory(capacity int) *shardedHistory {
 	for capacity%n != 0 {
 		n /= 2
 	}
-	h := &shardedHistory{mask: uint64(n - 1), shards: make([]historyShard, n)}
+	h := &shardedHistory{mask: uint64(n - 1), shards: make([]historyShard, n), bytes: new(obs.Gauge)}
 	for i := range h.shards {
 		h.shards[i].ring = newHistoryRing(capacity / n)
 	}
@@ -106,8 +127,11 @@ func newShardedHistory(capacity int) *shardedHistory {
 func (h *shardedHistory) append(e HistoryEntry) {
 	s := &h.shards[h.ctr.Add(1)&h.mask]
 	s.mu.Lock()
-	s.ring.append(e)
+	delta := s.ring.append(e)
 	s.mu.Unlock()
+	if delta != 0 {
+		h.bytes.Add(delta)
+	}
 }
 
 // entries consolidates the shards into one Seq-ordered slice.

@@ -63,6 +63,7 @@ func (l *txnListener) AfterAbort(t *txn.Txn) {
 		return
 	}
 	e.endTxnComposition(t.ID(), true)
+	e.dropDeferred(t)
 	e.resolveTxn(t, txn.Aborted)
 	e.emitTxnEvent(event.Abort, t)
 	e.consolidateHistory(t.ID())

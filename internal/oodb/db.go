@@ -166,6 +166,11 @@ func (db *DB) currentSink() Sink {
 // Begin starts a top-level transaction.
 func (db *DB) Begin() *txn.Txn { return db.txns.Begin() }
 
+// BeginAdmitted starts a top-level transaction through the admission
+// gate: under overload it fails with the governor's typed
+// ErrOverloaded instead of admitting work the system cannot finish.
+func (db *DB) BeginAdmitted() (*txn.Txn, error) { return db.txns.BeginAdmitted() }
+
 // NewObject creates a transient object of the named class inside t.
 func (db *DB) NewObject(t *txn.Txn, className string) (*Object, error) {
 	class, err := db.dict.Lookup(className)
@@ -750,6 +755,17 @@ func (db *DB) Checkpoint() error {
 		return nil
 	}
 	return db.store.Checkpoint()
+}
+
+// CheckpointLag reports WAL bytes accumulated since the last
+// completed checkpoint and the configured byte trigger (0, 0 for an
+// in-memory database) — the storage backpressure signal the overload
+// governor watches.
+func (db *DB) CheckpointLag() (lag, trigger int64) {
+	if db.store == nil {
+		return 0, 0
+	}
+	return db.store.CheckpointLag()
 }
 
 // CheckpointHealth reports the store's durability health snapshot

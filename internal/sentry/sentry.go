@@ -65,6 +65,12 @@ type Dispatcher struct {
 	// delivered through Emit.
 	tracer *obs.Tracer
 	now    func() time.Time
+
+	// shedProbe, when set, is consulted before minting a trace; a true
+	// report skips the mint (counted in tracesShed). Observability is
+	// the first thing a degrading system gives up — before any work is.
+	shedProbe  func() bool
+	tracesShed *obs.Counter
 }
 
 type subscription struct {
@@ -80,6 +86,7 @@ func New(consumer Consumer) *Dispatcher {
 		useful:      new(obs.Counter),
 		useless:     new(obs.Counter),
 		potentially: new(obs.Counter),
+		tracesShed:  new(obs.Counter),
 	}
 }
 
@@ -93,6 +100,8 @@ func (d *Dispatcher) Instrument(reg *obs.Registry, tracer *obs.Tracer, now func(
 		d.useful = reg.Counter(name, help, "class", "useful")
 		d.useless = reg.Counter(name, help, "class", "useless")
 		d.potentially = reg.Counter(name, help, "class", "potential")
+		d.tracesShed = reg.Counter("reach_sentry_traces_shed_total",
+			"Lifecycle traces skipped because the overload governor reported degradation.")
 	}
 	if tracer != nil {
 		d.tracer = tracer
@@ -174,12 +183,26 @@ func (d *Dispatcher) Wants(specKey string) bool {
 	return true
 }
 
+// SetShedProbe installs the overload probe consulted before trace
+// minting (nil removes it). Call it at wiring time, before traffic.
+func (d *Dispatcher) SetShedProbe(p func() bool) { d.shedProbe = p }
+
+// TracesShed reports how many lifecycle traces the shed probe skipped.
+func (d *Dispatcher) TracesShed() uint64 { return d.tracesShed.Value() }
+
 // Emit implements the database Sink delivery path. It is the origin
 // of the event's lifecycle trace: every occurrence entering the
-// system through a sentry gets its trace ID minted here.
+// system through a sentry gets its trace ID minted here. Under
+// overload (shed probe reports true) the mint is skipped — event
+// delivery itself is never shed here; that is the engine's decision,
+// per coupling mode.
 func (d *Dispatcher) Emit(in *event.Instance) error {
 	if d.tracer != nil && in.Trace == 0 {
-		in.Trace = d.tracer.Begin(in.SpecKey, d.now())
+		if p := d.shedProbe; p != nil && p() {
+			d.tracesShed.Inc()
+		} else {
+			in.Trace = d.tracer.Begin(in.SpecKey, d.now())
+		}
 	}
 	return d.consumer.Consume(in)
 }

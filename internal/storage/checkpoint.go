@@ -240,6 +240,18 @@ func (s *Store) noteCheckpoint(err error) {
 	}
 }
 
+// CheckpointLag reports how many WAL bytes have accumulated since the
+// last completed checkpoint, alongside the configured byte trigger.
+// Lag well past the trigger means the checkpointer is falling behind
+// the write rate — the storage backpressure signal the overload
+// governor turns into a degraded health state before the WAL-growth
+// bound trips.
+func (s *Store) CheckpointLag() (lag, trigger int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.wal.AppendedBytes() - s.ckptBaseBytes), s.copts.WALBytes
+}
+
 // maybeTriggerCheckpoint nudges the background checkpointer when the
 // log has grown past the byte trigger since the last checkpoint. The
 // send never blocks: a full notify channel means a run is already due.

@@ -727,6 +727,10 @@ type Stats struct {
 	WALSegmentBytes int64
 	WALRotations    uint64
 	WALPrunes       uint64
+	// WALCheckpointLag is bytes appended since the last completed
+	// checkpoint — the checkpointer-backpressure signal the overload
+	// governor watches.
+	WALCheckpointLag int64
 	// Checkpoint health (see CheckpointHealth for the full surface).
 	Checkpoints         uint64
 	CheckpointFailures  uint64
@@ -756,6 +760,7 @@ func (s *Store) Stats() Stats {
 	}
 	recSegs, recSkipped := s.recSegsScanned, s.recSegsSkipped
 	recRecords, recReplayed := s.recRecords, s.recReplayed
+	ckptLag := int64(s.wal.AppendedBytes() - s.ckptBaseBytes)
 	s.mu.Unlock()
 	hits, misses := s.pool.Stats()
 	reqs, batches, high := s.wal.GroupCommitStats()
@@ -775,6 +780,7 @@ func (s *Store) Stats() Stats {
 		WALSegmentBytes:         segBytes,
 		WALRotations:            rotations,
 		WALPrunes:               prunes,
+		WALCheckpointLag:        ckptLag,
 		Checkpoints:             health.Checkpoints,
 		CheckpointFailures:      health.Failures,
 		CheckpointDegraded:      health.Degraded,

@@ -121,6 +121,16 @@ func (ls *lockState) compatible(t *Txn, mode LockMode) bool {
 	return true
 }
 
+// heldByAncestor reports whether an ancestor of t holds the lock.
+func (ls *lockState) heldByAncestor(t *Txn) bool {
+	for h := range ls.holders {
+		if h.isAncestorOf(t) {
+			return true
+		}
+	}
+	return false
+}
+
 func (lt *lockTable) acquire(t *Txn, res uint64, mode LockMode) error {
 	st := lt.stripe(res)
 	lt.lockStripe(st)
@@ -137,7 +147,17 @@ func (lt *lockTable) acquire(t *Txn, res uint64, mode LockMode) error {
 		}
 		// Upgrade S→X: must wait for other non-ancestor holders to go.
 	}
-	if ls.compatible(t, mode) && (len(ls.queue) == 0 || ls.holders[t] != 0) {
+	// Grant immediately when compatible, unless a queue has formed —
+	// then join it for fairness. Two exceptions skip the queue: t
+	// already holds the lock (re-entry), and an ancestor of t holds it
+	// (closed nesting). The ancestor bypass is load-bearing: a rule
+	// subtransaction reading state its top-level wrote must not be
+	// fair-queued behind strangers who are themselves blocked on that
+	// top-level's lock — the top won't release until the child
+	// finishes, a cycle invisible to the waits-for graph because the
+	// top is waiting in code, not in the lock table.
+	if ls.compatible(t, mode) &&
+		(len(ls.queue) == 0 || ls.holders[t] != 0 || ls.heldByAncestor(t)) {
 		lt.grantLocked(ls, t, res, mode)
 		st.mu.Unlock()
 		return nil

@@ -89,6 +89,12 @@ type Manager struct {
 	locks    *lockTable
 	listener Listener
 
+	// admission, when installed, gates BeginAdmitted: the overload
+	// governor's writer choke point. Plain Begin bypasses it — rule
+	// transactions and internal work are never admission-controlled
+	// (shedding them is the engine's job, at its own choke points).
+	admission func() error
+
 	// commitFunc/abortFunc are installed by the database layer to make
 	// top-level outcomes durable.
 	commitFunc func(t *Txn) error
@@ -99,6 +105,10 @@ type Manager struct {
 	commits *obs.Counter
 	aborts  *obs.Counter
 	durs    *obs.Histogram
+
+	// activeTop counts live top-level transactions — the governor's
+	// cheapest load signal.
+	activeTop *obs.Gauge
 
 	// Latency attribution: time blocked on lock grants (by requested
 	// mode) and time inside the durability callback at commit.
@@ -122,6 +132,7 @@ func NewManager() *Manager {
 		commits:    new(obs.Counter),
 		aborts:     new(obs.Counter),
 		durs:       new(obs.Histogram),
+		activeTop:  new(obs.Gauge),
 		lockWaitS:  new(obs.Histogram),
 		lockWaitX:  new(obs.Histogram),
 		durableDur: new(obs.Histogram),
@@ -144,6 +155,8 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 	m.aborts = reg.Counter(name, help, "outcome", "abort")
 	m.durs = reg.Histogram("reach_txn_duration_seconds",
 		"Top-level transaction lifetime, begin to resolution.")
+	m.activeTop = reg.Gauge("reach_txn_active",
+		"Live (unresolved) top-level transactions.")
 	const lwName, lwHelp = "reach_lock_wait_seconds",
 		"Time blocked waiting for a lock grant, by requested mode."
 	m.lockWaitS = reg.Histogram(lwName, lwHelp, "mode", "S")
@@ -243,8 +256,29 @@ type dependency struct {
 	want Status
 }
 
+// SetAdmission installs the admission gate consulted by
+// BeginAdmitted (nil removes it). Call it before the first Begin.
+func (m *Manager) SetAdmission(f func() error) { m.admission = f }
+
+// ActiveTopLevel reports the number of live top-level transactions.
+func (m *Manager) ActiveTopLevel() int64 { return m.activeTop.Value() }
+
 // Begin starts a new top-level transaction.
 func (m *Manager) Begin() *Txn { return m.BeginTagged(nil, nil) }
+
+// BeginAdmitted starts a top-level transaction after consulting the
+// admission gate: under overload it blocks up to the governor's
+// admission deadline and then fails with the gate's typed error
+// (governor.ErrOverloaded — retry with backoff) without consuming a
+// transaction ID. With no gate installed it is Begin.
+func (m *Manager) BeginAdmitted() (*Txn, error) {
+	if f := m.admission; f != nil {
+		if err := f(); err != nil {
+			return nil, err
+		}
+	}
+	return m.Begin(), nil
+}
 
 // BeginTagged starts a top-level transaction with a value attached
 // before lifecycle listeners observe it. The rule engine uses it to
@@ -265,6 +299,7 @@ func (m *Manager) BeginTagged(key, val any) *Txn {
 	if key != nil {
 		t.vals = map[any]any{key: val}
 	}
+	m.activeTop.Add(1)
 	if m.listener != nil {
 		m.listener.AfterBegin(t)
 	}
@@ -506,6 +541,7 @@ func (t *Txn) Commit() error {
 
 	if t.parent == nil {
 		t.m.commits.Inc()
+		t.m.activeTop.Add(-1)
 		t.m.durs.Observe(t.m.clk.Now().Sub(t.started))
 		t.m.locks.releaseAll(t)
 	} else {
@@ -581,6 +617,7 @@ func (t *Txn) abort(cause error) error {
 
 	if t.parent == nil {
 		t.m.aborts.Inc()
+		t.m.activeTop.Add(-1)
 		t.m.durs.Observe(t.m.clk.Now().Sub(t.started))
 	}
 	t.m.locks.releaseAll(t)

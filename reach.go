@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eca"
 	"repro/internal/event"
+	"repro/internal/governor"
 	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/query"
@@ -128,8 +129,35 @@ const (
 	OverloadShed  = eca.OverloadShed
 )
 
-// Supervised-executor errors.
+// Overload governor: system-wide resource accounting, the
+// healthy → degraded → shedding → read-only state machine, writer
+// admission control, and the /health contract (see System.Governor).
+type (
+	// Governor is the system-wide overload governor.
+	Governor = governor.Governor
+	// GovernorOptions tune the governor (Options.Governor).
+	GovernorOptions = governor.Options
+	// GovernorLevels are one resource's watermarks.
+	GovernorLevels = governor.Levels
+	// HealthState is a rung on the governor's health ladder.
+	HealthState = governor.State
+)
+
+// Governor health states, healthiest first.
+const (
+	Healthy  = governor.Healthy
+	Degraded = governor.Degraded
+	Shedding = governor.Shedding
+	ReadOnly = governor.ReadOnly
+)
+
+// Supervised-executor and governor errors.
 var (
+	// ErrOverloaded rejects a new writer (System.BeginTxn) under
+	// overload: back off and retry.
+	ErrOverloaded = governor.ErrOverloaded
+	// ErrShutdown rejects new writers once graceful shutdown began.
+	ErrShutdown = governor.ErrShutdown
 	// ErrOverload rejects a detached spawn when the queue is full
 	// under the shed policy.
 	ErrOverload = eca.ErrOverload
